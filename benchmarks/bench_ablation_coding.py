@@ -1,0 +1,66 @@
+"""Ablation (§6a extension): convolutional coding over ZigZag at low SNR.
+
+Compares packet delivery of uncoded ZigZag (CRC on raw bits) against the
+coded pipeline (soft-decision Viterbi over the MRC-combined payload
+symbols) in the regime where residual subtraction noise still causes
+scattered bit errors. This is the first iteration of the paper's proposed
+ZigZag↔decoder loop.
+"""
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, "tests")
+
+from repro.phy.frame import HEADER_BITS, descramble_soft_bpsk
+from repro.phy.coding.iterative import decode_coded_soft
+from repro.phy.preamble import default_preamble
+from repro.phy.pulse import PulseShaper
+from repro.receiver.frontend import StreamConfig
+from repro.utils.rng import make_rng
+from repro.zigzag.decoder import ZigZagPairDecoder
+
+from test_coded_zigzag_integration import coded_collision_pair
+
+PREAMBLE = default_preamble(32)
+SHAPER = PulseShaper()
+
+
+def run(snr_db=6.5, n_trials=6, payload_bits=120):
+    config = StreamConfig(preamble=PREAMBLE, shaper=SHAPER,
+                          noise_power=1.0)
+    decoder = ZigZagPairDecoder(config)
+    uncoded_ok = coded_ok = total = 0
+    for seed in range(n_trials):
+        rng = make_rng(5200 + seed)
+        captures, frames, payloads, specs, placements = \
+            coded_collision_pair(rng, PREAMBLE, SHAPER, snr_db,
+                                 payload_bits=payload_bits)
+        outcome = decoder.decode([c.samples for c in captures], specs,
+                                 placements)
+        for name, payload in payloads.items():
+            total += 1
+            result = outcome.results[name]
+            if result.success:      # CRC over the raw (coded) bits
+                uncoded_ok += 1
+            soft = descramble_soft_bpsk(
+                result.soft_symbols[len(PREAMBLE) + HEADER_BITS:],
+                offset=HEADER_BITS)
+            if np.array_equal(decode_coded_soft(soft, payload.size),
+                              payload):
+                coded_ok += 1
+    return uncoded_ok / total, coded_ok / total
+
+
+def test_ablation_coding_over_zigzag(benchmark, record_table):
+    uncoded, coded = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"packet delivery, uncoded (raw CRC)     : {uncoded:5.1%}",
+        f"packet delivery, K=7 r=1/2 soft Viterbi: {coded:5.1%}",
+        "(hidden pair at 6.5 dB — the regime where residual subtraction",
+        " noise leaves scattered errors that the code removes, §6a)",
+    ]
+    record_table("ablation_coding", "Ablation: coding over ZigZag", lines)
+    assert coded >= uncoded
+    assert coded > 0.7

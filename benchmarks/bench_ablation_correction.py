@@ -1,0 +1,80 @@
+"""Ablation: the §4.2.4(b) cross-collision correction loop.
+
+When a packet is subtracted from a capture it never decodes from, its
+image rests on detection-time estimates; the correction loop measures
+each chunk image against the raw residual and fixes amplitude/phase/
+frequency drift ("compare the phases in chunk 1' and chunk 1''"). This
+benchmark decodes the same collision pairs with the loop enabled and
+disabled and compares residual interference and BER.
+"""
+
+import sys
+
+import numpy as np
+
+sys.path.insert(0, "tests")
+
+from repro.phy.constellation import BPSK
+from repro.phy.preamble import default_preamble
+from repro.phy.pulse import PulseShaper
+from repro.receiver.frontend import StreamConfig
+from repro.utils.rng import make_rng
+from repro.zigzag.engine import ZigZagEngine
+from repro.zigzag.schedule import Placement, greedy_schedule
+
+from helpers import hidden_pair_scenario
+
+PREAMBLE = default_preamble(32)
+SHAPER = PulseShaper()
+
+
+def run(n_trials=6, snr_db=10.0):
+    config = StreamConfig(preamble=PREAMBLE, shaper=SHAPER,
+                          noise_power=1.0)
+    stats = {True: {"ber": [], "residual": []},
+             False: {"ber": [], "residual": []}}
+    for seed in range(n_trials):
+        rng = make_rng(4100 + seed)
+        captures, frames, specs, placements = hidden_pair_scenario(
+            rng, PREAMBLE, SHAPER, snr_db=snr_db, payload_bits=300,
+            phase_noise=2e-3)
+        schedule = greedy_schedule(
+            [Placement(p.packet, p.collision, p.start,
+                       specs[p.packet].n_symbols, SHAPER.sps)
+             for p in placements], margin_symbols=1.0)
+        for measure in (True, False):
+            engine = ZigZagEngine(
+                config, [c.samples for c in captures], specs, placements,
+                measure_correction=measure)
+            out = engine.run(schedule)
+            for name, frame in frames.items():
+                bits = BPSK.demodulate(out[name].decisions[32:])
+                from repro.phy.frame import scramble_bits
+                bits = scramble_bits(bits)
+                stats[measure]["ber"].append(float(np.mean(
+                    bits[:frame.body_bits.size] != frame.body_bits)))
+            stats[measure]["residual"].append(
+                float(np.mean([engine.residual_power(c)
+                               for c in range(2)])))
+    return {k: {m: float(np.mean(v)) for m, v in d.items()}
+            for k, d in stats.items()}
+
+
+def test_ablation_correction_loop(benchmark, record_table):
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    on, off = stats[True], stats[False]
+    lines = [
+        f"correction ON : BER {on['ber']:.5f}   residual power "
+        f"{on['residual']:.2f}",
+        f"correction OFF: BER {off['ber']:.5f}   residual power "
+        f"{off['residual']:.2f}",
+        "(phase-noise 2e-3 rad/sample random walk; the loop tracks the",
+        " drift between the decoding capture and the subtraction capture)",
+    ]
+    record_table("ablation_correction",
+                 "Ablation: cross-collision correction loop (§4.2.4b)",
+                 lines)
+    # The loop must not hurt, and should reduce residual interference
+    # under phase drift.
+    assert on["ber"] <= off["ber"] + 1e-3
+    assert on["residual"] <= off["residual"] + 0.1

@@ -1,0 +1,37 @@
+"""Fig 1-3: why joint decoding can't handle full-rate collisions.
+
+Regenerates the capacity-region argument: at every SNR, the rate pair
+(R, R) with R the best single-user rate lies *outside* the two-user MAC
+region, while ZigZag's effective rate pair (R/2, R/2) per collision slot
+lies inside.
+"""
+
+import numpy as np
+
+from repro.analysis.capacity import CapacityRegion, rate_pair_for_equal_rates
+
+
+def sweep(snrs_db):
+    rows = []
+    for snr_db in snrs_db:
+        snr = 10.0 ** (snr_db / 10.0)
+        region = CapacityRegion(snr, snr)
+        rate, full_inside = rate_pair_for_equal_rates(snr)
+        half_inside = region.contains(rate / 2, rate / 2)
+        rows.append((snr_db, rate, region.sum_capacity, full_inside,
+                     half_inside))
+    return rows
+
+
+def test_fig1_3_capacity_region(benchmark, record_table):
+    snrs = np.arange(0, 31, 5)
+    rows = benchmark(sweep, snrs)
+    lines = [f"{'SNR dB':>7} {'R':>7} {'sum-cap':>8} "
+             f"{'(R,R) in?':>10} {'(R/2,R/2) in?':>14}"]
+    for snr_db, rate, cap, full, half in rows:
+        lines.append(f"{snr_db:7.1f} {rate:7.3f} {cap:8.3f} "
+                     f"{str(full):>10} {str(half):>14}")
+    record_table("fig1_3", "Fig 1-3: two-user capacity region", lines)
+    # Paper shape: full-rate pair always undecodable, half-rate always OK.
+    assert all(not full for *_, full, _half in rows)
+    assert all(half for *_, half in rows)

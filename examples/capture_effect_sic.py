@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Capture effect + successive interference cancellation (Fig 4-1d/e).
+
+Alice stands next to the AP; Bob is far away. Alice's packets capture the
+medium — a current 802.11 AP serves her and starves Bob. A ZigZag AP
+decodes Alice *through* the collision, subtracts her, and recovers Bob
+from the residual: two packets from a single collision. When Bob's copy
+comes out faulty, the next collision provides a second faulty copy and
+MRC combines them (Fig 4-1d).
+
+Run:  python examples/capture_effect_sic.py
+"""
+
+import numpy as np
+
+from repro.phy.channel import ChannelParams
+from repro.phy.constellation import BPSK
+from repro.phy.frame import Frame
+from repro.phy.medium import Transmission, synthesize
+from repro.phy.preamble import default_preamble
+from repro.phy.pulse import PulseShaper
+from repro.phy.sync import Synchronizer
+from repro.receiver.frontend import StreamConfig
+from repro.receiver.mrc import mrc_combine
+from repro.utils.bits import random_bits
+from repro.utils.rng import make_rng
+from repro.zigzag.decoder import extract_bits
+from repro.zigzag.engine import PacketSpec, PlacementParams
+from repro.zigzag.sic import SicDecoder
+
+
+def build_collision(rng, preamble, shaper, frames, snrs, freqs, offset):
+    txs = []
+    for (name, frame), snr in zip(frames.items(), snrs):
+        params = ChannelParams(
+            gain=np.sqrt(10 ** (snr / 10))
+            * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+            freq_offset=freqs[name],
+            sampling_offset=float(rng.uniform(0, 1)),
+            phase_noise_std=1e-3, tx_evm=0.03)
+        txs.append(Transmission.from_symbols(
+            frame.symbols, shaper, params,
+            0 if name == "alice" else offset, name))
+    return synthesize(txs, 1.0, rng, leading=8, tail=30)
+
+
+def main() -> None:
+    rng = make_rng(11)
+    preamble = default_preamble(32)
+    shaper = PulseShaper()
+    sync = Synchronizer(preamble, shaper, threshold=0.3)
+    config = StreamConfig(preamble=preamble, shaper=shaper,
+                          noise_power=1.0)
+    sic = SicDecoder(config)
+
+    snr_alice, snr_bob = 22.0, 8.0
+    print(f"Alice at {snr_alice:.0f} dB (captures), Bob at "
+          f"{snr_bob:.0f} dB\n")
+
+    frames = {
+        "alice": Frame.make(random_bits(320, rng), src=1,
+                            preamble=preamble),
+        "bob": Frame.make(random_bits(320, rng), src=2,
+                          preamble=preamble),
+    }
+    freqs = {"alice": 2.5e-3, "bob": -3e-3}
+    specs = {name: PacketSpec(name, frames[name].n_symbols, BPSK)
+             for name in frames}
+
+    bob_copies = []
+    for round_index, offset in enumerate((80, 140)):
+        capture = build_collision(rng, preamble, shaper, frames,
+                                  (snr_alice, snr_bob), freqs, offset)
+        placements = []
+        for t in capture.transmissions:
+            est = sync.acquire(capture.samples, t.symbol0,
+                               coarse_freq=freqs[t.label],
+                               noise_power=1.0)
+            placements.append(PlacementParams(
+                t.label, 0, t.symbol0 + est.sampling_offset, est))
+        results = sic.decode(capture.samples, specs, placements)
+        print(f"collision {round_index + 1}:")
+        for name, result in results.items():
+            ber = result.ber_against(frames[name].body_bits)
+            print(f"  {name:5s}: via={result.via} crc_ok={result.success} "
+                  f"BER={ber:.2e}")
+        bob = results["bob"]
+        if bob.soft_symbols.size == frames["bob"].n_symbols:
+            bob_copies.append(bob.soft_symbols)
+        if all(r.success for r in results.values()):
+            print("  both packets resolved from a single collision "
+                  "(total throughput 2x)")
+            break
+
+    if len(bob_copies) >= 2:
+        combined = mrc_combine(bob_copies)
+        bits, crc_ok, _ = extract_bits(combined, specs["bob"],
+                                       len(preamble))
+        from repro.utils.bits import bit_error_rate
+        ber = bit_error_rate(frames["bob"].body_bits,
+                             bits[:frames["bob"].body_bits.size])
+        print(f"\nMRC across {len(bob_copies)} faulty copies of Bob "
+              f"(Fig 4-1d): crc_ok={crc_ok} BER={ber:.2e}")
+
+
+if __name__ == "__main__":
+    main()

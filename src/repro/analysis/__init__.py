@@ -1,0 +1,24 @@
+"""Analytical companions: capacity region (Fig 1-3), BER theory, and the
+error-propagation decay model of §4.3a / Fig 4-4."""
+
+from repro.analysis.capacity import (
+    CapacityRegion,
+    point_is_decodable,
+    rate_pair_for_equal_rates,
+)
+from repro.analysis.theory import (
+    bpsk_ber,
+    error_propagation_probability,
+    expected_error_run_length,
+    qfunc,
+)
+
+__all__ = [
+    "CapacityRegion",
+    "point_is_decodable",
+    "rate_pair_for_equal_rates",
+    "bpsk_ber",
+    "qfunc",
+    "error_propagation_probability",
+    "expected_error_run_length",
+]

@@ -1,0 +1,85 @@
+"""The two-user multiple-access capacity region (Fig 1-3).
+
+The classic pentagon: rates (Ra, Rb) are jointly decodable iff
+
+    Ra <= log2(1 + SNRa)
+    Rb <= log2(1 + SNRb)
+    Ra + Rb <= log2(1 + SNRa + SNRb)
+
+Fig 1-3's argument: if both hidden terminals transmit at the best
+single-user rate R = log2(1 + SNR), the sum 2R exceeds the sum-capacity
+log2(1 + 2 SNR), so joint decoding / interference cancellation cannot
+recover a single collision — while ZigZag's *pair* of collisions averages
+the rate down to R per slot, which is decodable and as efficient as TDMA.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CapacityRegion", "point_is_decodable",
+           "rate_pair_for_equal_rates"]
+
+
+@dataclass(frozen=True)
+class CapacityRegion:
+    """The two-user Gaussian MAC pentagon for linear SNRs (not dB)."""
+
+    snr_a: float
+    snr_b: float
+
+    def __post_init__(self) -> None:
+        if self.snr_a <= 0 or self.snr_b <= 0:
+            raise ConfigurationError("SNRs must be positive")
+
+    @property
+    def max_rate_a(self) -> float:
+        return math.log2(1.0 + self.snr_a)
+
+    @property
+    def max_rate_b(self) -> float:
+        return math.log2(1.0 + self.snr_b)
+
+    @property
+    def sum_capacity(self) -> float:
+        return math.log2(1.0 + self.snr_a + self.snr_b)
+
+    def contains(self, rate_a: float, rate_b: float) -> bool:
+        if rate_a < 0 or rate_b < 0:
+            raise ConfigurationError("rates must be non-negative")
+        return (rate_a <= self.max_rate_a + 1e-12
+                and rate_b <= self.max_rate_b + 1e-12
+                and rate_a + rate_b <= self.sum_capacity + 1e-12)
+
+    def corner_points(self) -> list[tuple[float, float]]:
+        """Vertices of the pentagon (excluding the origin edges)."""
+        ra, rb, rs = self.max_rate_a, self.max_rate_b, self.sum_capacity
+        return [
+            (ra, 0.0),
+            (ra, rs - ra),
+            (rs - rb, rb),
+            (0.0, rb),
+        ]
+
+
+def point_is_decodable(snr_a: float, snr_b: float, rate_a: float,
+                       rate_b: float) -> bool:
+    """Convenience wrapper over :class:`CapacityRegion.contains`."""
+    return CapacityRegion(snr_a, snr_b).contains(rate_a, rate_b)
+
+
+def rate_pair_for_equal_rates(snr: float) -> tuple[float, bool]:
+    """(single-user best rate R, is (R, R) inside the symmetric region)?
+
+    Fig 1-3's headline: for any positive SNR the answer is False — the
+    rate pair (R, R) with R = log2(1+SNR) always exceeds the sum capacity
+    log2(1+2 SNR), so a single collision at full rate is undecodable.
+    """
+    if snr <= 0:
+        raise ConfigurationError("SNR must be positive")
+    rate = math.log2(1.0 + snr)
+    region = CapacityRegion(snr, snr)
+    return rate, region.contains(rate, rate)

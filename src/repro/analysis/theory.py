@@ -1,0 +1,60 @@
+"""BER theory and the §4.3(a) error-propagation decay model (Fig 4-4).
+
+"In the worst case the error causes the AP to add the vector instead of
+subtracting it ... the AP will decode yB to the wrong bit only if the
+angle between the two vectors yB and yA is less than 60 degrees ... the
+error occurs with probability less than 1/6. Thus, in BPSK, errors die
+exponentially fast."
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["qfunc", "bpsk_ber", "error_propagation_probability",
+           "expected_error_run_length"]
+
+
+def qfunc(x: float) -> float:
+    """Gaussian tail probability Q(x)."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+def bpsk_ber(snr_linear: float) -> float:
+    """Uncoded coherent BPSK bit error rate at per-symbol SNR Es/N0.
+
+    BER = Q(sqrt(2 Es/N0)) for a complex-noise channel with noise power
+    split across I/Q.
+    """
+    if snr_linear < 0:
+        raise ConfigurationError("SNR must be non-negative")
+    return qfunc(math.sqrt(2.0 * snr_linear))
+
+
+def error_propagation_probability(angle_threshold_deg: float = 60.0) -> float:
+    """P(a subtraction error flips the next symbol), BPSK worst case.
+
+    A wrongly-decoded BPSK symbol makes the AP *add* the interferer's
+    vector instead of cancelling it; the next decision flips only when the
+    angle between the two (independent, uniform-phase) vectors falls in a
+    60-degree arc — probability 60/360 = 1/6 (§4.3a, Fig 4-4).
+    """
+    if not 0 < angle_threshold_deg <= 180:
+        raise ConfigurationError("threshold must be in (0, 180] degrees")
+    return angle_threshold_deg / 360.0
+
+
+def expected_error_run_length(p_propagate: float | None = None) -> float:
+    """Expected length of an error burst under geometric decay.
+
+    With propagation probability p per hop, a burst lasts 1/(1-p) symbols
+    in expectation — about 1.2 symbols for the paper's p = 1/6: errors die
+    exponentially fast (Fig 4-4).
+    """
+    p = error_propagation_probability() if p_propagate is None \
+        else p_propagate
+    if not 0 <= p < 1:
+        raise ConfigurationError("propagation probability must be in [0,1)")
+    return 1.0 / (1.0 - p)

@@ -1,0 +1,11 @@
+"""Top-level receiver orchestration — the paper's §5.1(d) flow control.
+
+:class:`~repro.core.api.ZigZagReceiver` glues everything together the way
+the prototype AP does: try standard decoding first; on failure run collision
+detection; attempt capture-effect SIC; otherwise match against stored
+collisions and ZigZag-decode the pair; store unmatched collisions for later.
+"""
+
+from repro.core.api import ClientTable, ReceiverConfig, ZigZagReceiver
+
+__all__ = ["ClientTable", "ReceiverConfig", "ZigZagReceiver"]

@@ -1,0 +1,251 @@
+"""The ZigZag access point: end-to-end receive-path orchestration.
+
+Implements the paper's implementation flow control (§5.1d):
+
+1. Detect a reception and try the standard decoder.
+2. Even when standard decoding succeeds, check for a buried second packet
+   (capture-effect collision) and try to recover it by SIC.
+3. If standard decoding fails, run collision detection (§4.2.1). On a
+   collision, search stored collisions for a match (§4.2.2); on a match,
+   ZigZag-decode the pair (§4.2.3); otherwise store the collision in case
+   it helps decode a future one.
+
+The receiver also maintains the per-client coarse frequency-offset table
+the paper describes ("the AP can maintain coarse estimates of the frequency
+offsets of active clients as obtained at the time of association"), updated
+from every successful decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.phy.constellation import get_constellation
+from repro.phy.estimation import ChannelEstimate
+from repro.phy.frame import HEADER_BITS
+from repro.phy.preamble import Preamble, default_preamble
+from repro.phy.pulse import PulseShaper
+from repro.phy.sync import Synchronizer
+from repro.receiver.buffer import CollisionBuffer
+from repro.receiver.decoder import StandardDecoder
+from repro.receiver.frontend import StreamConfig
+from repro.receiver.result import DecodeResult
+from repro.zigzag.decoder import ZigZagPairDecoder
+from repro.zigzag.detect import CollisionDetector
+from repro.zigzag.engine import PacketSpec, PlacementParams
+from repro.zigzag.match import match_score
+from repro.zigzag.sic import SicDecoder
+
+__all__ = ["ClientTable", "ReceiverConfig", "ZigZagReceiver"]
+
+
+@dataclass
+class ClientTable:
+    """Per-client coarse frequency-offset estimates (§4.2.1, §4.2.4b).
+
+    Updated with an EWMA from every successful decode; the long-run
+    accuracy is far better than a single 32-symbol preamble fit, which is
+    exactly why the paper leans on it for collision decoding.
+    """
+
+    smoothing: float = 0.25
+    _freqs: dict[int, float] = field(default_factory=dict)
+
+    def update(self, src: int, freq_offset: float) -> None:
+        if src in self._freqs:
+            old = self._freqs[src]
+            self._freqs[src] = (1 - self.smoothing) * old \
+                + self.smoothing * freq_offset
+        else:
+            self._freqs[src] = freq_offset
+
+    def get(self, src: int, default: float = 0.0) -> float:
+        return self._freqs.get(src, default)
+
+    def candidates(self) -> list[float]:
+        """Frequency hypotheses for collision detection; always includes 0
+        so unknown clients can still be found."""
+        values = sorted(set(round(v, 9) for v in self._freqs.values()))
+        if not values:
+            return [0.0]
+        return values
+
+    def __len__(self) -> int:
+        return len(self._freqs)
+
+
+@dataclass(frozen=True)
+class ReceiverConfig:
+    """Knobs of a ZigZag AP."""
+
+    preamble: Preamble = field(default_factory=default_preamble)
+    shaper: PulseShaper = field(default_factory=PulseShaper)
+    noise_power: float = 1.0
+    sync_threshold: float = 0.5
+    # Collision detection runs only after standard decoding fails, so a
+    # liberal beta is safe: false positives cost compute, not packets
+    # (§5.3a), while false negatives forfeit ZigZag opportunities.
+    collision_beta: float = 0.42
+    match_threshold: float = 0.25
+    match_window: int = 256
+    use_backward: bool = True
+    enable_sic: bool = True
+    track_phase: bool = True
+    use_equalizer: bool = True
+    buffer_capacity: int = 4
+    expected_symbols: int | None = None
+
+    def stream_config(self) -> StreamConfig:
+        return StreamConfig(
+            preamble=self.preamble,
+            shaper=self.shaper,
+            noise_power=self.noise_power,
+            track_phase=self.track_phase,
+            use_equalizer=self.use_equalizer,
+        )
+
+
+class ZigZagReceiver:
+    """A best-effort 802.11 AP receiver with ZigZag collision decoding."""
+
+    def __init__(self, config: ReceiverConfig | None = None) -> None:
+        self.config = config or ReceiverConfig()
+        cfg = self.config
+        self.clients = ClientTable()
+        self.buffer = CollisionBuffer(cfg.buffer_capacity)
+        self.detector = CollisionDetector(cfg.preamble, cfg.shaper,
+                                          beta=cfg.collision_beta)
+        self.synchronizer = Synchronizer(cfg.preamble, cfg.shaper,
+                                         threshold=cfg.collision_beta)
+        self.standard = StandardDecoder(
+            cfg.preamble, cfg.shaper, noise_power=cfg.noise_power,
+            sync_threshold=cfg.sync_threshold,
+            track_phase=cfg.track_phase, use_equalizer=cfg.use_equalizer)
+        self.pair_decoder = ZigZagPairDecoder(
+            cfg.stream_config(), use_backward=cfg.use_backward)
+        self.sic = SicDecoder(cfg.stream_config())
+
+    # ------------------------------------------------------------------
+    def receive(self, samples) -> list[DecodeResult]:
+        """Process one capture; returns every packet decoded from it.
+
+        May return packets from *earlier* captures too: a collision that
+        matches a stored one resolves both packets at once.
+        """
+        y = np.asarray(samples, dtype=complex).ravel()
+        verdict = self.detector.inspect(y, self.clients.candidates())
+        if not verdict.peaks:
+            return []
+
+        # §5.1(d): always try the standard decoder first — a correlation
+        # spike elsewhere in the packet may be a false positive, which
+        # "does not prevent correct decoding of that packet".
+        strongest = max(verdict.peaks, key=lambda p: p.score)
+        result = self.standard.decode(y, start_position=strongest.position)
+        if result.success:
+            self._learn(result)
+            # Even on success, a genuinely buried second packet may be
+            # recoverable (capture scenario); the SIC path inside
+            # _handle_collision covers that when decoding *fails*, and a
+            # successful standard decode of a clean packet ends here.
+            return [result]
+
+        if len(verdict.peaks) >= 2:
+            return self._handle_collision(y, verdict)
+        return [result] if result.bits.size else []
+
+    # ------------------------------------------------------------------
+    def _learn(self, result: DecodeResult) -> None:
+        if result.success and result.header is not None \
+                and result.estimate is not None:
+            self.clients.update(result.header.src,
+                                result.estimate.freq_offset)
+
+    def _acquire_placements(self, y: np.ndarray, verdict,
+                            collision_index: int
+                            ) -> list[PlacementParams]:
+        placements = []
+        for i, peak in enumerate(verdict.peaks[:2]):
+            best: ChannelEstimate | None = None
+            for freq in self.clients.candidates():
+                est = self.synchronizer.acquire(
+                    y, peak.position, coarse_freq=freq,
+                    noise_power=self.config.noise_power)
+                if best is None or abs(est.gain) > abs(best.gain):
+                    best = est
+            placements.append(PlacementParams(
+                packet=f"p{i}", collision=collision_index,
+                start=peak.position + best.sampling_offset,
+                estimate=best))
+        return placements
+
+    def _frame_symbols(self, y: np.ndarray, peak) -> int | None:
+        """Peek the frame length from an interference-free header, or fall
+        back to the configured expectation."""
+        try:
+            result = self.standard.decode(y, start_position=peak.position)
+        except ReproError:
+            result = DecodeResult.failure("peek failed")
+        if result.header is not None:
+            k = get_constellation(result.header.modulation).bits_per_symbol
+            tail = result.header.payload_bits + 32
+            return (len(self.config.preamble) + HEADER_BITS
+                    + (tail + k - 1) // k)
+        return self.config.expected_symbols
+
+    def _handle_collision(self, y: np.ndarray,
+                          verdict) -> list[DecodeResult]:
+        cfg = self.config
+        n_symbols = self._frame_symbols(y, verdict.peaks[0])
+
+        # (a) capture-effect SIC on this single collision (Fig 4-1e).
+        if cfg.enable_sic and n_symbols is not None:
+            placements = self._acquire_placements(y, verdict, 0)
+            gains = [abs(p.estimate.gain) for p in placements]
+            if max(gains) > 2.5 * min(gains):
+                specs = {p.packet: PacketSpec(p.packet, n_symbols)
+                         for p in placements}
+                results = self.sic.decode(y, specs, placements)
+                if all(r.success for r in results.values()):
+                    return list(results.values())
+
+        # (b) match against stored collisions and ZigZag-decode.
+        for record in self.buffer.newest_first():
+            if len(record.peaks) < 2 or n_symbols is None:
+                continue
+            d_old = record.offset
+            d_new = verdict.offset
+            if d_new is None or abs(d_new - d_old) < 2:
+                continue  # identical offsets are undecodable (§4.5)
+            score = match_score(
+                record.samples, record.peaks[1].position,
+                y, verdict.peaks[1].position, cfg.match_window)
+            if score < cfg.match_threshold:
+                continue
+            old_placements = self._acquire_placements(
+                record.samples, _VerdictView(record.peaks), 0)
+            new_placements = self._acquire_placements(y, verdict, 1)
+            placements = old_placements + new_placements
+            specs = {p.packet: PacketSpec(p.packet, n_symbols)
+                     for p in old_placements}
+            outcome = self.pair_decoder.decode(
+                [record.samples, y], specs, placements)
+            if any(r.success for r in outcome.results.values()):
+                self.buffer.remove(record)
+                for result in outcome.results.values():
+                    self._learn(result)
+                return list(outcome.results.values())
+
+        # (c) no match: store and wait for the retransmissions.
+        self.buffer.add(y, verdict.peaks)
+        return []
+
+
+@dataclass
+class _VerdictView:
+    """Adapter giving stored peaks the .peaks attribute acquire expects."""
+
+    peaks: list

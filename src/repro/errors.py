@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ZigZag reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish decode failures (expected, operational)
+from configuration mistakes (programming errors).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter or combination of parameters is invalid.
+
+    Raised eagerly at construction time so misconfiguration never shows up
+    later as a silently-wrong result.
+    """
+
+
+class FrameError(ReproError):
+    """A PHY frame could not be built or parsed."""
+
+
+class SyncError(ReproError):
+    """Packet-start synchronization failed (no preamble found)."""
+
+
+class DecodeError(ReproError):
+    """A packet failed to decode (checksum mismatch, lost lock, ...).
+
+    This is an *operational* failure: it is the normal signal that a
+    reception was not decodable, not a bug.
+    """
+
+
+class CollisionDetectError(ReproError):
+    """Collision detection could not run (e.g. signal shorter than preamble)."""
+
+
+class MatchError(ReproError):
+    """No matching prior collision was found for a received collision."""
+
+
+class ScheduleError(ReproError):
+    """The greedy chunk scheduler could not find a complete decode order.
+
+    Corresponds to the paper's "failure" events in Fig 4-7: the collision
+    pattern does not satisfy the pairwise different-offset condition of
+    Assertion 4.5.1 (or its N-sender analogue).
+    """
+
+
+class TrackingError(ReproError):
+    """A tracking loop (phase / timing) diverged beyond recoverable bounds."""

@@ -1,0 +1,38 @@
+"""802.11 MAC substrate: DCF timing, backoff, retransmissions, ACKs.
+
+Used three ways in the reproduction:
+
+- Monte-Carlo evaluation of the greedy decoder's failure probability versus
+  the number of colliding senders (Fig 4-7), driven by
+  :mod:`~repro.mac.backoff` slot picks;
+- the synchronous-ACK feasibility analysis of Lemma 4.4.1
+  (:mod:`~repro.mac.ack`);
+- the slotted DCF simulator (:mod:`~repro.mac.dcf`) that generates the
+  §5.2-style CSMA traces replayed at the signal level by the testbed
+  experiments.
+"""
+
+from repro.mac.timing import Timing, TIMING_80211A, TIMING_80211B, TIMING_80211G
+from repro.mac.backoff import BackoffPicker, ExponentialBackoff, FixedWindowBackoff
+from repro.mac.ack import ack_offset_probability, ack_offset_lower_bound, AckPlanner
+from repro.mac.dcf import DcfConfig, DcfSimulator, TransmissionEvent, DcfTrace
+from repro.mac.hidden import HiddenScenario, collision_offset_pairs
+
+__all__ = [
+    "Timing",
+    "TIMING_80211A",
+    "TIMING_80211B",
+    "TIMING_80211G",
+    "BackoffPicker",
+    "FixedWindowBackoff",
+    "ExponentialBackoff",
+    "ack_offset_probability",
+    "ack_offset_lower_bound",
+    "AckPlanner",
+    "DcfConfig",
+    "DcfSimulator",
+    "TransmissionEvent",
+    "DcfTrace",
+    "HiddenScenario",
+    "collision_offset_pairs",
+]

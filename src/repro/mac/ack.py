@@ -1,0 +1,103 @@
+"""Synchronous ACKs for ZigZag-decoded collisions (§4.4, Lemma 4.4.1).
+
+The AP acks Alice a SIFS after both packets decode (her radio is
+transmitting, so Bob's ongoing tail does not disturb her ack), then pads
+the channel and acks Bob when he finishes. This works iff the offset
+between the colliding packets exceeds SIFS + ACK. Lemma 4.4.1: with both
+senders drawing slots from a window of ``2 CW`` on the retransmission, the
+probability the offset suffices is at least ``1 - (SIFS+ACK)/(S * 2CW)``
+— ≥ 93.75% for 802.11g (S=20us, SIFS=10us, ACK=30us, CW=16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mac.timing import TIMING_80211G, Timing
+
+__all__ = ["ack_offset_lower_bound", "ack_offset_probability", "AckPlanner"]
+
+
+def ack_offset_lower_bound(timing: Timing = TIMING_80211G,
+                           cw: int | None = None) -> float:
+    """The paper's analytic lower bound on P(offset >= SIFS + ACK).
+
+    Appendix A: the probability that Alice picks a slot within
+    ``SIFS + ACK`` *after* Bob's is upper bounded by
+    ``(SIFS + ACK) / (S * 2CW)``; one minus that bounds the success
+    probability. For 802.11g this evaluates to exactly 0.9375.
+    """
+    cw = cw if cw is not None else timing.cw_min
+    if cw < 1:
+        raise ConfigurationError("cw must be >= 1")
+    blocking = (timing.sifs_us + timing.ack_us) / (timing.slot_us * 2 * cw)
+    return 1.0 - blocking
+
+
+def ack_offset_probability(timing: Timing = TIMING_80211G,
+                           cw: int | None = None, *,
+                           n_trials: int = 100_000,
+                           rng: np.random.Generator | None = None) -> float:
+    """Monte-Carlo estimate of P(|offset| >= SIFS + ACK).
+
+    Both colliding senders pick a slot uniformly in ``[0, 2CW)`` for the
+    retransmission; the offset between their packets is the slot
+    difference times the slot duration. This is the exact two-sided event
+    the synchronous-ack scheme needs, slightly stricter than the paper's
+    one-sided bound.
+    """
+    cw = cw if cw is not None else timing.cw_min
+    if cw < 1:
+        raise ConfigurationError("cw must be >= 1")
+    if n_trials < 1:
+        raise ConfigurationError("n_trials must be positive")
+    rng = rng or np.random.default_rng(0)
+    slots_a = rng.integers(0, 2 * cw, size=n_trials)
+    slots_b = rng.integers(0, 2 * cw, size=n_trials)
+    offsets = np.abs(slots_a - slots_b) * timing.slot_us
+    needed = timing.sifs_us + timing.ack_us
+    return float(np.mean(offsets >= needed))
+
+
+@dataclass(frozen=True)
+class AckPlan:
+    """Timeline of the Fig 4-5 ack scheme, in microseconds from the end of
+    the first (earlier-finishing) packet."""
+
+    feasible: bool
+    ack_first_at: float
+    padding_us: float
+    ack_second_at: float
+
+
+@dataclass
+class AckPlanner:
+    """Plan synchronous acks for a decoded collision pair (Fig 4-5)."""
+
+    timing: Timing = TIMING_80211G
+
+    def plan(self, offset_us: float, first_duration_us: float,
+             second_duration_us: float) -> AckPlan:
+        """*offset_us* is the second packet's start minus the first's.
+
+        The first ack must fit between the first packet's end and the
+        second packet's end: feasible iff the tail of the second packet is
+        longer than SIFS + ACK.
+        """
+        if min(first_duration_us, second_duration_us) <= 0:
+            raise ConfigurationError("durations must be positive")
+        if offset_us < 0:
+            raise ConfigurationError(
+                "offset must be measured to the later packet")
+        t = self.timing
+        first_end = first_duration_us
+        second_end = offset_us + second_duration_us
+        tail = second_end - first_end
+        feasible = tail >= t.sifs_us + t.ack_us
+        ack_first_at = first_end + t.sifs_us
+        padding = max(0.0, second_end - (ack_first_at + t.ack_us))
+        ack_second_at = second_end + t.sifs_us
+        return AckPlan(feasible, ack_first_at, padding, ack_second_at)

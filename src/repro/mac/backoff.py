@@ -1,0 +1,65 @@
+"""802.11 backoff slot pickers.
+
+Two policies, matching Fig 4-7's two panels: a fixed congestion window
+(every retransmission draws from the same cw), and standard exponential
+backoff — "doubling the congestion window every time there is a collision,
+starting with a minimum congestion window CWmin = 31 ... not allowed to
+exceed CWmax = 1023" (paper §4.5, footnote 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BackoffPicker", "FixedWindowBackoff", "ExponentialBackoff"]
+
+
+class BackoffPicker:
+    """Interface: draw the backoff slot for a given retransmission attempt."""
+
+    def window(self, attempt: int) -> int:
+        raise NotImplementedError
+
+    def pick(self, attempt: int, rng: np.random.Generator) -> int:
+        """Slot number in [0, window(attempt)] for the given attempt
+        (attempt 0 is the first transmission)."""
+        w = self.window(attempt)
+        return int(rng.integers(0, w + 1))
+
+
+@dataclass(frozen=True)
+class FixedWindowBackoff(BackoffPicker):
+    """Every attempt draws from the same congestion window ``cw``."""
+
+    cw: int
+
+    def __post_init__(self) -> None:
+        if self.cw < 1:
+            raise ConfigurationError("cw must be >= 1")
+
+    def window(self, attempt: int) -> int:
+        if attempt < 0:
+            raise ConfigurationError("attempt must be non-negative")
+        return self.cw
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff(BackoffPicker):
+    """Standard 802.11 exponential backoff: cw doubles per failed attempt."""
+
+    cw_min: int = 31
+    cw_max: int = 1023
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cw_min <= self.cw_max:
+            raise ConfigurationError("need 0 < cw_min <= cw_max")
+
+    def window(self, attempt: int) -> int:
+        if attempt < 0:
+            raise ConfigurationError("attempt must be non-negative")
+        return min(self.cw_min * (2 ** attempt) + (2 ** attempt - 1),
+                   self.cw_max)

@@ -1,0 +1,198 @@
+"""A slotted 802.11 DCF simulator with configurable carrier sensing.
+
+Generates transmission/collision traces for arbitrary sensing topologies —
+in particular hidden terminals, where two senders never sense each other
+and therefore collide repeatedly on the same packets. The testbed layer
+replays these traces at the signal level, exactly mirroring the paper's
+§5.2 methodology (802.11 cards provide the MAC trace, USRPs replay it).
+
+The simulator is intentionally slot-quantized: transmissions start on slot
+boundaries after DIFS + backoff, which also produces the random start-time
+jitter between successive collisions that ZigZag depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mac.backoff import ExponentialBackoff
+from repro.mac.timing import TIMING_80211G, Timing
+
+__all__ = ["DcfConfig", "TransmissionEvent", "DcfTrace", "DcfSimulator"]
+
+
+@dataclass(frozen=True)
+class DcfConfig:
+    """Parameters of one DCF simulation."""
+
+    timing: Timing = TIMING_80211G
+    packet_duration_us: float = 500.0
+    max_attempts: int = 7
+    cw_min: int = 31
+    cw_max: int = 1023
+
+    def __post_init__(self) -> None:
+        if self.packet_duration_us <= 0:
+            raise ConfigurationError("packet duration must be positive")
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class TransmissionEvent:
+    """One on-air transmission attempt."""
+
+    sender: int
+    packet_id: int
+    attempt: int
+    start_us: float
+    end_us: float
+
+    def overlaps(self, other: "TransmissionEvent") -> bool:
+        return self.start_us < other.end_us and other.start_us < self.end_us
+
+
+@dataclass
+class DcfTrace:
+    """Everything that happened on the medium during a run."""
+
+    events: list[TransmissionEvent] = field(default_factory=list)
+    delivered: dict = field(default_factory=dict)   # (sender, pkt) -> bool
+    dropped: dict = field(default_factory=dict)
+
+    def collision_groups(self) -> list[list[TransmissionEvent]]:
+        """Maximal groups of mutually-overlapping transmissions (>= 2)."""
+        groups: list[list[TransmissionEvent]] = []
+        ordered = sorted(self.events, key=lambda e: e.start_us)
+        current: list[TransmissionEvent] = []
+        current_end = -1.0
+        for event in ordered:
+            if current and event.start_us < current_end:
+                current.append(event)
+                current_end = max(current_end, event.end_us)
+            else:
+                if len(current) >= 2:
+                    groups.append(current)
+                current = [event]
+                current_end = event.end_us
+        if len(current) >= 2:
+            groups.append(current)
+        return groups
+
+    def clean_events(self) -> list[TransmissionEvent]:
+        """Transmissions that overlapped nothing."""
+        collided = {id(e) for g in self.collision_groups() for e in g}
+        return [e for e in self.events if id(e) not in collided]
+
+
+class DcfSimulator:
+    """Slot-stepped DCF with an arbitrary sense matrix.
+
+    ``sense[i][j]`` is True when sender i can hear sender j — hidden
+    terminals have ``sense[i][j] = sense[j][i] = False``. The AP hears
+    everyone; a transmission is *delivered* when no other transmission
+    overlaps it (the signal-level replay refines this with capture and
+    ZigZag decoding).
+    """
+
+    def __init__(self, n_senders: int, sense: np.ndarray,
+                 config: DcfConfig = DcfConfig(),
+                 rng: np.random.Generator | None = None) -> None:
+        sense = np.asarray(sense, dtype=bool)
+        if sense.shape != (n_senders, n_senders):
+            raise ConfigurationError("sense matrix shape mismatch")
+        self.n = n_senders
+        self.sense = sense
+        self.config = config
+        self.rng = rng or np.random.default_rng(0)
+
+    def run(self, packets_per_sender: int) -> DcfTrace:
+        if packets_per_sender < 1:
+            raise ConfigurationError("packets_per_sender must be >= 1")
+        cfg = self.config
+        t = cfg.timing
+        trace = DcfTrace()
+
+        next_packet = [0] * self.n
+        attempt = [0] * self.n
+        cw = [cfg.cw_min] * self.n
+        backoff = [int(self.rng.integers(0, cfg.cw_min + 1))
+                   for _ in range(self.n)]
+        # Ongoing transmission end time per sender (or None).
+        tx_end = [None] * self.n
+        tx_event: list[TransmissionEvent | None] = [None] * self.n
+        now = 0.0
+        slot = t.slot_us
+
+        def busy_for(i: int) -> bool:
+            return any(tx_end[j] is not None and self.sense[i][j]
+                       for j in range(self.n) if j != i)
+
+        guard = 0
+        max_iterations = packets_per_sender * self.n * 50_000
+        while any(next_packet[i] < packets_per_sender
+                  for i in range(self.n)):
+            guard += 1
+            if guard > max_iterations:
+                raise ConfigurationError("DCF simulation did not terminate")
+            # Finish transmissions ending at or before `now`.
+            for i in range(self.n):
+                if tx_end[i] is not None and tx_end[i] <= now + 1e-9:
+                    event = tx_event[i]
+                    overlapped = any(
+                        e.overlaps(event) for e in trace.events
+                        if e is not event)
+                    key = (i, event.packet_id)
+                    if not overlapped:
+                        trace.delivered[key] = True
+                        next_packet[i] += 1
+                        attempt[i] = 0
+                        cw[i] = cfg.cw_min
+                        backoff[i] = int(self.rng.integers(0, cw[i] + 1))
+                    else:
+                        attempt[i] += 1
+                        if attempt[i] >= cfg.max_attempts:
+                            trace.dropped[key] = True
+                            next_packet[i] += 1
+                            attempt[i] = 0
+                            cw[i] = cfg.cw_min
+                        else:
+                            cw[i] = min(2 * cw[i] + 1, cfg.cw_max)
+                        backoff[i] = int(self.rng.integers(0, cw[i] + 1))
+                    tx_end[i] = None
+                    tx_event[i] = None
+            # Senders with pending packets count down / transmit.
+            for i in range(self.n):
+                if tx_end[i] is not None:
+                    continue
+                if next_packet[i] >= packets_per_sender:
+                    continue
+                if busy_for(i):
+                    continue  # freeze backoff while medium sensed busy
+                if backoff[i] > 0:
+                    backoff[i] -= 1
+                    continue
+                event = TransmissionEvent(
+                    sender=i,
+                    packet_id=next_packet[i],
+                    attempt=attempt[i],
+                    start_us=now,
+                    end_us=now + cfg.packet_duration_us,
+                )
+                trace.events.append(event)
+                tx_end[i] = event.end_us
+                tx_event[i] = event
+            # Advance: to the next transmission end if the medium is
+            # globally busy for everyone relevant, else one slot.
+            pending_ends = [e for e in tx_end if e is not None]
+            if pending_ends:
+                next_end = min(pending_ends)
+                # Idle senders continue their backoff in slot steps even
+                # while hidden transmissions are in flight.
+                now = min(next_end, now + slot)
+            else:
+                now += slot
+        return trace

@@ -1,0 +1,90 @@
+"""The 802.11-like physical-layer substrate.
+
+This package implements, from scratch, everything the ZigZag receiver needs
+underneath it: modulation (BPSK through 64-QAM), PN preambles, CRC-32
+framing, the flat-fading quasi-static channel of the paper's Chapter 3
+(complex gain, carrier frequency offset, fractional sampling offset, phase
+noise, multipath ISI, AWGN), windowed-sinc interpolation, preamble
+correlation, channel/frequency estimation, decision-directed phase tracking,
+Mueller–Müller timing tracking, and linear equalization.
+"""
+
+from repro.phy.constellation import (
+    BPSK,
+    QAM16,
+    QAM64,
+    QPSK,
+    Constellation,
+    get_constellation,
+)
+from repro.phy.modulator import Modulator
+from repro.phy.preamble import Preamble, default_preamble
+from repro.phy.crc import crc32, crc32_check, append_crc32, strip_crc32
+from repro.phy.frame import Frame, FrameHeader, build_frame_bits, parse_frame_bits
+from repro.phy.noise import (
+    awgn,
+    ebn0_db_to_snr_db,
+    noise_power_for_snr_db,
+    signal_power,
+    snr_db,
+    snr_db_to_ebn0_db,
+)
+from repro.phy.resample import FractionalDelay, sinc_interpolate
+from repro.phy.isi import IsiFilter, default_isi_taps, invert_fir
+from repro.phy.channel import Channel, ChannelParams
+from repro.phy.correlation import (
+    CorrelationPeak,
+    find_correlation_peaks,
+    normalized_sliding_correlation,
+    sliding_correlation,
+)
+from repro.phy.estimation import (
+    ChannelEstimate,
+    estimate_channel_from_preamble,
+    estimate_frequency_offset,
+)
+from repro.phy.tracking import MuellerMullerTracker, PhaseTracker
+from repro.phy.equalizer import LmsEqualizer
+
+__all__ = [
+    "BPSK",
+    "QPSK",
+    "QAM16",
+    "QAM64",
+    "Constellation",
+    "get_constellation",
+    "Modulator",
+    "Preamble",
+    "default_preamble",
+    "crc32",
+    "crc32_check",
+    "append_crc32",
+    "strip_crc32",
+    "Frame",
+    "FrameHeader",
+    "build_frame_bits",
+    "parse_frame_bits",
+    "awgn",
+    "signal_power",
+    "snr_db",
+    "noise_power_for_snr_db",
+    "ebn0_db_to_snr_db",
+    "snr_db_to_ebn0_db",
+    "FractionalDelay",
+    "sinc_interpolate",
+    "IsiFilter",
+    "default_isi_taps",
+    "invert_fir",
+    "Channel",
+    "ChannelParams",
+    "CorrelationPeak",
+    "sliding_correlation",
+    "normalized_sliding_correlation",
+    "find_correlation_peaks",
+    "ChannelEstimate",
+    "estimate_channel_from_preamble",
+    "estimate_frequency_offset",
+    "PhaseTracker",
+    "MuellerMullerTracker",
+    "LmsEqualizer",
+]

@@ -1,0 +1,23 @@
+"""Bit-level channel coding — the paper's §6(a) extension.
+
+"In practice, additional bit-level codes (like Convolutional codes ...) are
+applied to increase the reliability of the packet. The performance of
+ZigZag can be further enhanced by exploiting these bit-level codes."
+
+Provides the 802.11 convolutional code (K=7, rate 1/2, generators 133/171
+octal) with hard- and soft-decision Viterbi decoding, a block interleaver,
+and :func:`~repro.phy.coding.iterative.decode_coded_soft` — the first
+iteration of the paper's proposed ZigZag↔decoder loop: run the Viterbi
+decoder over ZigZag's (MRC-combined) soft symbols to clean residual errors.
+"""
+
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.interleaver import BlockInterleaver
+from repro.phy.coding.iterative import decode_coded_soft, encode_for_zigzag
+
+__all__ = [
+    "ConvolutionalCode",
+    "BlockInterleaver",
+    "encode_for_zigzag",
+    "decode_coded_soft",
+]

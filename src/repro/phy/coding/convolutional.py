@@ -1,0 +1,154 @@
+"""Convolutional encoding and Viterbi decoding, from scratch.
+
+The 802.11 mother code: constraint length K=7, rate 1/2, generator
+polynomials 133 and 171 (octal). The decoder runs the textbook Viterbi
+algorithm with either Hamming (hard bits) or Euclidean (soft BPSK values)
+branch metrics, with full traceback after zero-tail termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import as_bit_array
+
+__all__ = ["ConvolutionalCode"]
+
+
+@dataclass
+class ConvolutionalCode:
+    """A binary rate-1/n feed-forward convolutional code.
+
+    Parameters
+    ----------
+    generators:
+        Generator polynomials in octal (default: 802.11's (0o133, 0o171)).
+    constraint_length:
+        K; the encoder holds K-1 state bits.
+    """
+
+    generators: tuple = (0o133, 0o171)
+    constraint_length: int = 7
+    _taps: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.constraint_length < 2:
+            raise ConfigurationError("constraint length must be >= 2")
+        if len(self.generators) < 2:
+            raise ConfigurationError("need at least two generators")
+        k = self.constraint_length
+        taps = np.zeros((len(self.generators), k), dtype=np.uint8)
+        for g_index, polynomial in enumerate(self.generators):
+            if polynomial <= 0 or polynomial >= (1 << k):
+                raise ConfigurationError(
+                    f"generator {polynomial:o} does not fit K={k}")
+            for bit in range(k):
+                taps[g_index, bit] = (polynomial >> (k - 1 - bit)) & 1
+        self._taps = taps
+        self._build_trellis()
+
+    # ------------------------------------------------------------------
+    @property
+    def rate_inverse(self) -> int:
+        return len(self.generators)
+
+    @property
+    def n_states(self) -> int:
+        return 1 << (self.constraint_length - 1)
+
+    def _build_trellis(self) -> None:
+        """Precompute next-state and output tables for every (state, bit)."""
+        k = self.constraint_length
+        n_states = self.n_states
+        n_out = self.rate_inverse
+        self._next_state = np.zeros((n_states, 2), dtype=np.int64)
+        self._outputs = np.zeros((n_states, 2, n_out), dtype=np.uint8)
+        for state in range(n_states):
+            for bit in range(2):
+                register = (bit << (k - 1)) | state
+                window = np.array(
+                    [(register >> (k - 1 - i)) & 1 for i in range(k)],
+                    dtype=np.uint8)
+                self._next_state[state, bit] = register >> 1
+                self._outputs[state, bit] = (self._taps @ window) % 2
+
+    # ------------------------------------------------------------------
+    def encode(self, bits, terminate: bool = True) -> np.ndarray:
+        """Encode *bits*; with ``terminate`` a zero tail flushes the state.
+
+        Output length is ``rate_inverse * (len(bits) + K - 1)`` when
+        terminated.
+        """
+        data = as_bit_array(bits)
+        if terminate:
+            data = np.concatenate([
+                data, np.zeros(self.constraint_length - 1, dtype=np.uint8)
+            ])
+        out = np.empty(data.size * self.rate_inverse, dtype=np.uint8)
+        state = 0
+        for i, bit in enumerate(data):
+            out[i * self.rate_inverse:(i + 1) * self.rate_inverse] = \
+                self._outputs[state, bit]
+            state = self._next_state[state, bit]
+        return out
+
+    # ------------------------------------------------------------------
+    def decode_hard(self, coded, terminated: bool = True) -> np.ndarray:
+        """Viterbi with Hamming branch metrics over hard bits."""
+        received = as_bit_array(coded).astype(float)
+        # Map bits to +/-1 soft values so one metric path serves both.
+        return self.decode_soft(1.0 - 2.0 * received,
+                                terminated=terminated)
+
+    def decode_soft(self, soft, terminated: bool = True) -> np.ndarray:
+        """Viterbi with Euclidean metrics over soft BPSK values.
+
+        *soft* holds one real value per coded bit with the convention
+        bit 0 -> +1, bit 1 -> -1 (sign convention cancels in the metric,
+        as long as it matches :meth:`encode`'s mapping below).
+        Returns the decoded information bits (tail stripped when
+        *terminated*).
+        """
+        values = np.asarray(soft, dtype=float).ravel()
+        n_out = self.rate_inverse
+        if values.size % n_out != 0:
+            raise ConfigurationError(
+                f"soft length {values.size} not a multiple of {n_out}")
+        n_steps = values.size // n_out
+        if n_steps == 0:
+            return np.zeros(0, dtype=np.uint8)
+        n_states = self.n_states
+
+        # Branch metric: correlation of expected (+/-1) with received.
+        expected = 1.0 - 2.0 * self._outputs.astype(float)  # (S, 2, n)
+        metrics = np.full(n_states, -np.inf)
+        metrics[0] = 0.0
+        survivors = np.zeros((n_steps, n_states), dtype=np.int8)
+        predecessors = np.zeros((n_steps, n_states), dtype=np.int64)
+
+        for step in range(n_steps):
+            block = values[step * n_out:(step + 1) * n_out]
+            branch = expected @ block              # (S, 2)
+            candidate = metrics[:, None] + branch  # (S, 2)
+            new_metrics = np.full(n_states, -np.inf)
+            for state in range(n_states):
+                for bit in range(2):
+                    nxt = self._next_state[state, bit]
+                    score = candidate[state, bit]
+                    if score > new_metrics[nxt]:
+                        new_metrics[nxt] = score
+                        survivors[step, nxt] = bit
+                        predecessors[step, nxt] = state
+            metrics = new_metrics
+
+        state = 0 if terminated else int(np.argmax(metrics))
+        decoded = np.empty(n_steps, dtype=np.uint8)
+        for step in range(n_steps - 1, -1, -1):
+            decoded[step] = survivors[step, state]
+            state = predecessors[step, state]
+        if terminated:
+            decoded = decoded[:n_steps - (self.constraint_length - 1)]
+        return decoded

@@ -1,0 +1,47 @@
+"""Block interleaving: spread burst errors across the codeword.
+
+ZigZag's residual errors are bursty (a wrong chunk decision perturbs its
+neighbours before dying out, §4.3a); a block interleaver turns those
+bursts into isolated errors the convolutional code corrects easily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BlockInterleaver"]
+
+
+@dataclass(frozen=True)
+class BlockInterleaver:
+    """Row-in / column-out block interleaver with *depth* rows."""
+
+    depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ConfigurationError("interleaver depth must be >= 1")
+
+    def _shape(self, n: int) -> tuple[int, int]:
+        columns = -(-n // self.depth)  # ceil
+        return self.depth, columns
+
+    def interleave(self, values) -> np.ndarray:
+        arr = np.asarray(values).ravel()
+        rows, cols = self._shape(arr.size)
+        padded = np.concatenate([
+            arr, np.zeros(rows * cols - arr.size, dtype=arr.dtype)])
+        return padded.reshape(rows, cols).T.ravel()
+
+    def deinterleave(self, values, original_length: int) -> np.ndarray:
+        arr = np.asarray(values).ravel()
+        rows, cols = self._shape(original_length)
+        if arr.size != rows * cols:
+            raise ConfigurationError(
+                f"interleaved length {arr.size} inconsistent with "
+                f"original {original_length} at depth {self.depth}")
+        return arr.reshape(cols, rows).T.ravel()[:original_length]

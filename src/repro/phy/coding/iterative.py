@@ -1,0 +1,77 @@
+"""§6(a): exploiting bit-level codes on top of ZigZag.
+
+The paper's future-work proposal starts by running the bit-level decoder
+over ZigZag's modulation-level estimates to "generate cleaner bits". This
+module implements that first iteration for BPSK payloads:
+
+- :func:`encode_for_zigzag` convolutionally encodes (and interleaves) a
+  payload before framing, so the on-air packet carries the 802.11 mother
+  code;
+- :func:`decode_coded_soft` takes the soft symbol stream that ZigZag's
+  forward+backward MRC produced for the payload region, deinterleaves it,
+  and runs soft-decision Viterbi — turning residual symbol errors (which
+  arrive in short bursts, §4.3a) back into clean payload bits.
+
+The full iterative loop (re-encode the cleaned bits, re-subtract, decode
+again) composes from these pieces plus the existing
+:class:`~repro.zigzag.engine.ZigZagEngine`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.interleaver import BlockInterleaver
+from repro.utils.bits import as_bit_array
+
+__all__ = ["encode_for_zigzag", "decode_coded_soft"]
+
+_DEFAULT_CODE = ConvolutionalCode()
+_DEFAULT_INTERLEAVER = BlockInterleaver(depth=8)
+
+
+def encode_for_zigzag(payload, code: ConvolutionalCode | None = None,
+                      interleaver: BlockInterleaver | None = None
+                      ) -> np.ndarray:
+    """Payload bits -> coded + interleaved bits ready for framing."""
+    code = code or _DEFAULT_CODE
+    interleaver = interleaver or _DEFAULT_INTERLEAVER
+    coded = code.encode(as_bit_array(payload), terminate=True)
+    return interleaver.interleave(coded).astype(np.uint8)
+
+
+def coded_length(payload_bits: int,
+                 code: ConvolutionalCode | None = None,
+                 interleaver: BlockInterleaver | None = None) -> int:
+    """On-air bit count for a payload of *payload_bits*."""
+    code = code or _DEFAULT_CODE
+    interleaver = interleaver or _DEFAULT_INTERLEAVER
+    raw = code.rate_inverse * (payload_bits + code.constraint_length - 1)
+    rows = interleaver.depth
+    return rows * (-(-raw // rows))
+
+
+def decode_coded_soft(soft_symbols, payload_bits: int,
+                      code: ConvolutionalCode | None = None,
+                      interleaver: BlockInterleaver | None = None
+                      ) -> np.ndarray:
+    """Soft BPSK payload symbols -> error-corrected payload bits.
+
+    *soft_symbols* are the gain-normalized complex estimates ZigZag
+    produced for the coded payload region (BPSK: the real part carries the
+    information; bit 0 -> -1, bit 1 -> +1 per the Ch. 3 mapping).
+    """
+    code = code or _DEFAULT_CODE
+    interleaver = interleaver or _DEFAULT_INTERLEAVER
+    soft = np.real(np.asarray(soft_symbols).ravel())
+    raw_len = code.rate_inverse * (payload_bits
+                                   + code.constraint_length - 1)
+    expected = coded_length(payload_bits, code, interleaver)
+    if soft.size < expected:
+        raise ConfigurationError(
+            f"need {expected} soft values, got {soft.size}")
+    deinterleaved = interleaver.deinterleave(soft[:expected], raw_len)
+    # Our BPSK maps bit 1 -> +1; the decoder's convention is bit 0 -> +1.
+    return code.decode_soft(-deinterleaved, terminated=True)

@@ -1,0 +1,139 @@
+"""Sliding preamble correlation — the paper's collision-detection primitive.
+
+§4.2.1: the AP slides the known L-sample preamble across the received
+buffer; after compensating for the colliding sender's frequency offset, the
+correlation magnitude spikes exactly where a packet (and only a packet)
+begins. The same trick powers packet sync, collision detection (Fig 4-2),
+collision *matching* (§4.2.2), and channel estimation (§4.2.4a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CollisionDetectError, ConfigurationError
+from repro.phy.preamble import Preamble
+
+__all__ = [
+    "sliding_correlation",
+    "normalized_sliding_correlation",
+    "CorrelationPeak",
+    "find_correlation_peaks",
+    "refine_peak_position",
+]
+
+
+def sliding_correlation(signal, preamble: Preamble,
+                        freq_offset: float = 0.0) -> np.ndarray:
+    """Γ'(Δ) for every alignment Δ: ``sum_k s*[k] y[k+Δ] e^{-j2πk·δf}``.
+
+    *freq_offset* is the coarse estimate of the colliding sender's offset in
+    cycles per sample (the AP keeps these per associated client, §4.2.1).
+    Returns a complex array of length ``len(signal) - L + 1``.
+    """
+    y = np.asarray(signal, dtype=complex).ravel()
+    length = len(preamble)
+    if y.size < length:
+        raise CollisionDetectError(
+            f"signal ({y.size}) shorter than preamble ({length})"
+        )
+    k = np.arange(length)
+    reference = preamble.symbols * np.exp(2j * np.pi * freq_offset * k)
+    # np.correlate(y, v)[d] = sum_k y[d+k] * conj(v[k]).
+    return np.correlate(y, reference, mode="valid")
+
+
+def normalized_sliding_correlation(signal, preamble: Preamble,
+                                   freq_offset: float = 0.0) -> np.ndarray:
+    """|Γ'(Δ)| normalized to [0, 1] by preamble and local signal energy.
+
+    The normalized metric is what thresholds compare against: it is
+    invariant to the colliding sender's power, which makes a single β work
+    across the SNR range (§5.3a).
+    """
+    y = np.asarray(signal, dtype=complex).ravel()
+    corr = sliding_correlation(y, preamble, freq_offset)
+    length = len(preamble)
+    energy = np.convolve(np.abs(y) ** 2, np.ones(length), mode="valid")
+    denom = np.sqrt(preamble.energy * np.maximum(energy, 1e-30))
+    return np.abs(corr) / denom
+
+
+@dataclass(frozen=True)
+class CorrelationPeak:
+    """One detected preamble alignment.
+
+    Attributes
+    ----------
+    position:
+        Integer sample index of the packet start.
+    fine_offset:
+        Sub-sample refinement in (-0.5, 0.5); ``position + fine_offset`` is
+        the best fractional start estimate (this is the sampling-offset
+        estimate μ for that packet).
+    value:
+        Complex correlation Γ'(Δ) at the peak — its magnitude over the
+        preamble energy is the channel gain estimate (§4.2.4a).
+    score:
+        Normalized correlation in [0, 1] used for thresholding.
+    """
+
+    position: int
+    fine_offset: float
+    value: complex
+    score: float
+
+
+def refine_peak_position(magnitudes: np.ndarray, index: int) -> float:
+    """Parabolic interpolation of a peak to sub-sample accuracy."""
+    if index <= 0 or index >= magnitudes.size - 1:
+        return 0.0
+    left, mid, right = magnitudes[index - 1:index + 2]
+    denom = left - 2.0 * mid + right
+    if denom == 0:
+        return 0.0
+    delta = 0.5 * (left - right) / denom
+    return float(np.clip(delta, -0.5, 0.5))
+
+
+def find_correlation_peaks(signal, preamble: Preamble, *,
+                           freq_offset: float = 0.0,
+                           threshold: float = 0.6,
+                           min_separation: int | None = None,
+                           max_peaks: int | None = None) -> list[CorrelationPeak]:
+    """All positions where the normalized correlation exceeds *threshold*.
+
+    Peaks closer than *min_separation* (default: preamble length) collapse
+    to the strongest one, preventing one packet start from registering as
+    several detections.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError("threshold must lie in (0, 1]")
+    corr = sliding_correlation(signal, preamble, freq_offset)
+    scores = normalized_sliding_correlation(signal, preamble, freq_offset)
+    separation = min_separation if min_separation is not None else len(preamble)
+
+    candidates = np.flatnonzero(scores >= threshold)
+    peaks: list[CorrelationPeak] = []
+    used = np.zeros(scores.size, dtype=bool)
+    # Greedily take the strongest remaining candidate, mask its neighborhood.
+    order = candidates[np.argsort(-scores[candidates])]
+    for idx in order:
+        if used[idx]:
+            continue
+        lo = max(0, idx - separation)
+        hi = min(scores.size, idx + separation + 1)
+        used[lo:hi] = True
+        fine = refine_peak_position(np.abs(corr), int(idx))
+        peaks.append(CorrelationPeak(
+            position=int(idx),
+            fine_offset=fine,
+            value=complex(corr[idx]),
+            score=float(scores[idx]),
+        ))
+        if max_peaks is not None and len(peaks) >= max_peaks:
+            break
+    peaks.sort(key=lambda p: p.position)
+    return peaks

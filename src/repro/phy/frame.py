@@ -1,0 +1,235 @@
+"""PHY framing: preamble | header | payload | CRC-32.
+
+Mirrors the structure the paper uses (32-bit preamble, payload, 32-bit CRC,
+§5.1c) plus a small PLCP-like header carrying source address, sequence
+number, the 802.11 retry flag, payload length, and payload modulation. The
+header matters to ZigZag in two ways: the *retry* flag is the one field that
+differs between a packet and its retransmission (§4.2.2), and the length
+field lets the receiver know how many symbols to decode.
+
+The preamble and header are always BPSK (base rate); the payload may use any
+registered constellation, since ZigZag is modulation-agnostic (§4.2.3a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FrameError
+from repro.phy.constellation import BPSK, get_constellation
+from repro.phy.crc import append_crc32, strip_crc32
+from repro.phy.modulator import Modulator
+from repro.phy.preamble import Preamble, default_preamble, lfsr_sequence
+from repro.utils.bits import as_bit_array, bits_from_int, bits_to_int
+
+__all__ = ["FrameHeader", "Frame", "build_frame_bits", "parse_frame_bits",
+           "scramble_bits", "descramble_soft_bpsk"]
+
+# Additive scrambler PN sequence (order-9 LFSR, fixed seed), regenerated on
+# demand up to the longest frame seen. 802.11 scrambles all PSDU bits for
+# exactly the reason we do: constant bit runs (e.g. zero-heavy headers)
+# would otherwise put narrowband structure on the air that cross-correlates
+# with everything — including the sync preamble.
+_SCRAMBLER_CACHE = lfsr_sequence(4096, order=9, seed_state=0b101010101)
+
+
+def scramble_bits(bits, offset: int = 0) -> np.ndarray:
+    """XOR *bits* with the frame scrambler PN, starting at PN index
+    *offset*. Self-inverse: apply again (same offset) to descramble."""
+    global _SCRAMBLER_CACHE
+    arr = as_bit_array(bits)
+    needed = offset + arr.size
+    if needed > _SCRAMBLER_CACHE.size:
+        _SCRAMBLER_CACHE = lfsr_sequence(
+            2 * needed, order=9, seed_state=0b101010101)
+    return arr ^ _SCRAMBLER_CACHE[offset:offset + arr.size]
+
+
+def descramble_soft_bpsk(soft, offset: int = 0) -> np.ndarray:
+    """Undo the scrambler on *soft BPSK symbol estimates*.
+
+    A scrambler bit of 1 flipped the transmitted bit, i.e. negated the
+    BPSK symbol; soft-decision consumers (e.g. the §6a Viterbi decoder)
+    need the sign restored without slicing to hard bits first.
+    """
+    global _SCRAMBLER_CACHE
+    values = np.asarray(soft, dtype=complex).ravel()
+    needed = offset + values.size
+    if needed > _SCRAMBLER_CACHE.size:
+        _SCRAMBLER_CACHE = lfsr_sequence(
+            2 * needed, order=9, seed_state=0b101010101)
+    signs = 1.0 - 2.0 * _SCRAMBLER_CACHE[
+        offset:offset + values.size].astype(float)
+    return values * signs
+
+_MODULATION_IDS = {"bpsk": 0, "qpsk": 1, "qam16": 2, "qam64": 3}
+_MODULATION_NAMES = {v: k for k, v in _MODULATION_IDS.items()}
+
+# Header field widths, in bits.
+_SRC_BITS = 8
+_DST_BITS = 8
+_SEQ_BITS = 12
+_RETRY_BITS = 1
+_MOD_BITS = 3
+_LEN_BITS = 16
+HEADER_BITS = _SRC_BITS + _DST_BITS + _SEQ_BITS + _RETRY_BITS + _MOD_BITS + _LEN_BITS
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """PLCP-like header. ``payload_bits`` is the *unpadded* payload length."""
+
+    src: int
+    dst: int
+    seq: int
+    retry: bool
+    modulation: str
+    payload_bits: int
+
+    def __post_init__(self) -> None:
+        checks = [
+            (0 <= self.src < (1 << _SRC_BITS), "src"),
+            (0 <= self.dst < (1 << _DST_BITS), "dst"),
+            (0 <= self.seq < (1 << _SEQ_BITS), "seq"),
+            (0 <= self.payload_bits < (1 << _LEN_BITS), "payload_bits"),
+        ]
+        for ok, name in checks:
+            if not ok:
+                raise ConfigurationError(f"header field {name} out of range")
+        if self.modulation not in _MODULATION_IDS:
+            raise ConfigurationError(
+                f"unknown modulation {self.modulation!r}"
+            )
+
+    def to_bits(self) -> np.ndarray:
+        parts = [
+            bits_from_int(self.src, _SRC_BITS),
+            bits_from_int(self.dst, _DST_BITS),
+            bits_from_int(self.seq, _SEQ_BITS),
+            bits_from_int(int(self.retry), _RETRY_BITS),
+            bits_from_int(_MODULATION_IDS[self.modulation], _MOD_BITS),
+            bits_from_int(self.payload_bits, _LEN_BITS),
+        ]
+        return np.concatenate(parts)
+
+    @classmethod
+    def from_bits(cls, bits) -> "FrameHeader":
+        arr = as_bit_array(bits)
+        if arr.size != HEADER_BITS:
+            raise FrameError(
+                f"header needs {HEADER_BITS} bits, got {arr.size}"
+            )
+        pos = 0
+
+        def take(width: int) -> int:
+            nonlocal pos
+            value = bits_to_int(arr[pos:pos + width])
+            pos += width
+            return value
+
+        src = take(_SRC_BITS)
+        dst = take(_DST_BITS)
+        seq = take(_SEQ_BITS)
+        retry = bool(take(_RETRY_BITS))
+        mod_id = take(_MOD_BITS)
+        payload_bits = take(_LEN_BITS)
+        if mod_id not in _MODULATION_NAMES:
+            raise FrameError(f"invalid modulation id {mod_id}")
+        return cls(src, dst, seq, retry, _MODULATION_NAMES[mod_id],
+                   payload_bits)
+
+    def with_retry(self, retry: bool = True) -> "FrameHeader":
+        """Copy of this header with the 802.11 retry flag set/cleared."""
+        return FrameHeader(self.src, self.dst, self.seq, retry,
+                           self.modulation, self.payload_bits)
+
+
+def build_frame_bits(header: FrameHeader, payload) -> np.ndarray:
+    """Header + payload + CRC-32 over both, as one bit array."""
+    payload_arr = as_bit_array(payload)
+    if payload_arr.size != header.payload_bits:
+        raise FrameError(
+            f"payload has {payload_arr.size} bits but header says "
+            f"{header.payload_bits}"
+        )
+    return append_crc32(np.concatenate([header.to_bits(), payload_arr]))
+
+
+def parse_frame_bits(bits) -> tuple[FrameHeader, np.ndarray, bool]:
+    """Inverse of :func:`build_frame_bits`: (header, payload, crc_ok)."""
+    arr = as_bit_array(bits)
+    if arr.size < HEADER_BITS + 32:
+        raise FrameError("bit array too short to hold a frame")
+    body, crc_ok = strip_crc32(arr)
+    header = FrameHeader.from_bits(body[:HEADER_BITS])
+    payload = body[HEADER_BITS:]
+    return header, payload, crc_ok
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A fully-built PHY frame: known preamble plus modulated body symbols.
+
+    ``symbols`` is the on-air unit-power complex symbol stream
+    (preamble symbols followed by body symbols). ``body_bits`` is what the
+    receiver must recover (header + payload + CRC).
+    """
+
+    header: FrameHeader
+    payload: np.ndarray
+    preamble: Preamble
+    body_bits: np.ndarray
+    symbols: np.ndarray
+
+    @classmethod
+    def build(cls, header: FrameHeader, payload,
+              preamble: Preamble | None = None) -> "Frame":
+        preamble = preamble or default_preamble()
+        payload_arr = as_bit_array(payload)
+        body_bits = build_frame_bits(header, payload_arr)
+        on_air = scramble_bits(body_bits)
+        header_mod = Modulator(BPSK)
+        body_mod = Modulator(get_constellation(header.modulation))
+        # Header+CRC region: header bits go at base rate; payload at its own
+        # rate. We modulate the whole body at the payload constellation when
+        # it is BPSK-compatible; otherwise header stays BPSK and payload+crc
+        # use the payload constellation.
+        if header.modulation == "bpsk":
+            body_symbols = header_mod.modulate(on_air)
+        else:
+            header_symbols = header_mod.modulate(on_air[:HEADER_BITS])
+            rest_symbols = body_mod.modulate(on_air[HEADER_BITS:])
+            body_symbols = np.concatenate([header_symbols, rest_symbols])
+        symbols = np.concatenate([preamble.symbols, body_symbols])
+        return cls(header, payload_arr, preamble, body_bits, symbols)
+
+    @classmethod
+    def make(cls, payload, *, src: int = 1, dst: int = 0, seq: int = 0,
+             retry: bool = False, modulation: str = "bpsk",
+             preamble: Preamble | None = None) -> "Frame":
+        """Convenience constructor that derives the header from the payload."""
+        payload_arr = as_bit_array(payload)
+        header = FrameHeader(src, dst, seq, retry, modulation,
+                             payload_arr.size)
+        return cls.build(header, payload_arr, preamble)
+
+    def retransmission(self) -> "Frame":
+        """The 802.11 retransmission of this frame: same bits, retry=1."""
+        return Frame.build(self.header.with_retry(True), self.payload,
+                           self.preamble)
+
+    @property
+    def n_symbols(self) -> int:
+        return self.symbols.size
+
+    @property
+    def n_body_symbols(self) -> int:
+        return self.symbols.size - len(self.preamble)
+
+    def body_symbol_layout(self) -> tuple[int, int]:
+        """(header_symbols, payload_symbols) counts within the body."""
+        if self.header.modulation == "bpsk":
+            return HEADER_BITS, self.n_body_symbols - HEADER_BITS
+        return HEADER_BITS, self.n_body_symbols - HEADER_BITS

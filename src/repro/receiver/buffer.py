@@ -1,0 +1,78 @@
+"""Store of recent unmatched collisions (§4.2.2).
+
+"The AP stores recent unmatched collisions (i.e., stores the received
+complex samples). It is sufficient to store the few most recent collisions
+because, in 802.11, colliding sources try to retransmit a failed
+transmission as soon as the medium is available."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy.correlation import CorrelationPeak
+
+__all__ = ["CollisionRecord", "CollisionBuffer"]
+
+
+@dataclass
+class CollisionRecord:
+    """One stored collision: raw samples plus detected packet starts."""
+
+    samples: np.ndarray
+    peaks: list[CorrelationPeak]
+    sequence: int = 0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def offset(self) -> int:
+        """Offset Δ of the second packet relative to the first (samples)."""
+        if len(self.peaks) < 2:
+            raise ConfigurationError("record holds fewer than two packets")
+        positions = sorted(p.position for p in self.peaks)
+        return positions[1] - positions[0]
+
+
+class CollisionBuffer:
+    """A small FIFO of unmatched collision records."""
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ConfigurationError("buffer capacity must be >= 1")
+        self._records: deque[CollisionRecord] = deque(maxlen=capacity)
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def add(self, samples, peaks, meta: dict | None = None) -> CollisionRecord:
+        record = CollisionRecord(
+            samples=np.asarray(samples, dtype=complex).ravel(),
+            peaks=list(peaks),
+            sequence=self._counter,
+            meta=dict(meta or {}),
+        )
+        self._counter += 1
+        self._records.append(record)
+        return record
+
+    def remove(self, record: CollisionRecord) -> None:
+        try:
+            self._records.remove(record)
+        except ValueError:
+            pass
+
+    def newest_first(self) -> list[CollisionRecord]:
+        """Candidates for matching, most recent first (retransmissions are
+        expected to arrive immediately after the original collision)."""
+        return list(reversed(self._records))
+
+    def clear(self) -> None:
+        self._records.clear()

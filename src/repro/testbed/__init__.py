@@ -1,0 +1,47 @@
+"""The 14-node evaluation substrate (paper Chapter 5).
+
+Replaces the paper's physical GNURadio testbed with: a log-distance
+path-loss + shadowing propagation model (:mod:`~repro.testbed.pathloss`), a
+node topology whose SNR matrix and carrier-sense classification mirror the
+paper's mix of hidden/partial/perfect sender pairs
+(:mod:`~repro.testbed.topology`), and a signal-level experiment runner
+(:mod:`~repro.testbed.experiment`) that replays MAC-level collision plans
+through the full PHY + receiver stack for the three compared designs:
+ZigZag, Current 802.11, and the Collision-Free Scheduler (§5.1e).
+"""
+
+from repro.testbed.pathloss import LogDistancePathLoss
+from repro.testbed.topology import SensingClass, Testbed, default_testbed
+from repro.testbed.metrics import FlowStats, normalized_throughput, loss_rate
+from repro.testbed.csma import (
+    CleanTransmission,
+    CollisionEvent,
+    ReplayPlan,
+    plan_from_trace,
+)
+from repro.testbed.experiment import (
+    Design,
+    PairExperiment,
+    PairExperimentConfig,
+    run_capture_sweep_point,
+    run_three_sender_experiment,
+)
+
+__all__ = [
+    "LogDistancePathLoss",
+    "SensingClass",
+    "Testbed",
+    "default_testbed",
+    "FlowStats",
+    "normalized_throughput",
+    "loss_rate",
+    "CleanTransmission",
+    "CollisionEvent",
+    "ReplayPlan",
+    "plan_from_trace",
+    "Design",
+    "PairExperiment",
+    "PairExperimentConfig",
+    "run_capture_sweep_point",
+    "run_three_sender_experiment",
+]

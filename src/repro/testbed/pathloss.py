@@ -1,0 +1,49 @@
+"""Log-distance path loss with log-normal shadowing.
+
+The standard indoor propagation model: received power falls off as
+``10 n log10(d/d0)`` dB beyond a reference distance, plus a per-link
+Gaussian shadowing term capturing walls and furniture. Indoor WLAN
+exponents run 2.5–4; the defaults below give a 14-node office-scale layout
+the same qualitative SNR spread as the paper's testbed (Fig 5-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LogDistancePathLoss"]
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Path loss in dB as a function of distance in meters."""
+
+    exponent: float = 3.2
+    reference_db: float = 40.0
+    reference_m: float = 1.0
+    shadowing_db: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0 or self.reference_m <= 0:
+            raise ConfigurationError(
+                "exponent and reference distance must be positive")
+        if self.shadowing_db < 0:
+            raise ConfigurationError("shadowing std must be non-negative")
+
+    def mean_loss_db(self, distance_m) -> np.ndarray:
+        """Deterministic component of the loss."""
+        d = np.maximum(np.asarray(distance_m, dtype=float),
+                       self.reference_m)
+        return self.reference_db + 10.0 * self.exponent * np.log10(
+            d / self.reference_m)
+
+    def sample_loss_db(self, distance_m,
+                       rng: np.random.Generator) -> np.ndarray:
+        """Loss including one shadowing draw (quasi-static per link)."""
+        mean = self.mean_loss_db(distance_m)
+        return mean + rng.normal(0.0, self.shadowing_db,
+                                 size=np.shape(mean))

@@ -1,0 +1,123 @@
+"""Re-encoding decoded chunks into channel images for subtraction (§4.2.3b).
+
+"Now that the AP knows the symbols that Alice sent in chunk 1, it uses this
+knowledge to create an estimate of how these symbols would look after
+traversing Alice's channel to the AP."
+
+The image of a chunk is built by (1) applying the symbol-domain ISI
+estimate (the inverted equalizer, §4.2.4d), (2) pulse-shaping at the
+transmit RRC, (3) fractionally delaying onto the capture's sample grid
+(§4.2.3b's Nyquist interpolation), and (4) multiplying by the complex gain
+and frequency-offset phase ramp (Eq. 4.1). Because every operation is
+linear in the symbols, chunk images computed independently superpose
+exactly — the engine subtracts them incrementally as chunks decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy.estimation import ChannelEstimate
+from repro.phy.isi import IsiFilter
+from repro.phy.pulse import PulseShaper
+from repro.phy.resample import FractionalDelay
+
+__all__ = ["Reencoder"]
+
+
+@dataclass
+class Reencoder:
+    """Builds channel images of decoded symbols for one (packet, capture).
+
+    Parameters
+    ----------
+    shaper:
+        The system pulse shaping.
+    estimate:
+        Channel estimate whose model is
+        ``rx[k] = gain * sym[k] * exp(j 2π f (start + sps k))``.
+    start:
+        Fractional sample position of the packet's symbol 0 pulse centre in
+        the *target* capture buffer.
+    symbol_isi:
+        Optional symbol-domain ISI taps (an :class:`IsiFilter`) — the
+        inverse of the trained equalizer, when ISI compensation is active.
+    """
+
+    shaper: PulseShaper
+    estimate: ChannelEstimate
+    start: float
+    symbol_isi: IsiFilter | None = None
+    delay_half_width: int = 6
+    _frac_cache: dict = field(default_factory=dict, repr=False)
+
+    def image(self, symbols, i0: int) -> tuple[np.ndarray, int]:
+        """Channel image of chunk *symbols* occupying indices [i0, i0+K).
+
+        Returns ``(segment, base)``: add ``segment`` at ``buffer[base:]``.
+        The segment includes the pulse tails on both sides of the chunk.
+        """
+        d = np.asarray(symbols, dtype=complex).ravel()
+        if d.size == 0:
+            raise ConfigurationError("cannot re-encode an empty chunk")
+        j0 = i0
+        if self.symbol_isi is not None and not self.symbol_isi.is_identity:
+            taps = self.symbol_isi.taps
+            d = np.convolve(d, taps)
+            j0 = i0 - self.symbol_isi.main_tap
+        wave = self.shaper.shape(d)
+        # Pad before the fractional delay so the interpolation tails are
+        # kept rather than truncated — chunk images must superpose exactly
+        # (linearity is what makes incremental subtraction correct).
+        pad = self.delay_half_width + 1
+        wave = np.concatenate([
+            np.zeros(pad, dtype=complex), wave,
+            np.zeros(pad, dtype=complex),
+        ])
+        # Sample m of `wave` sits at target position
+        #   start + sps*j0 - shaper.delay - pad + m  (fractional).
+        position = (self.start + self.shaper.sps * j0
+                    - self.shaper.delay - pad)
+        base = int(np.floor(position))
+        frac = position - base
+        key = round(frac, 9)
+        if key not in self._frac_cache:
+            self._frac_cache[key] = FractionalDelay(
+                frac, self.delay_half_width)
+        wave = self._frac_cache[key].apply(wave)
+        n = base + np.arange(wave.size, dtype=float)
+        ramp = np.exp(2j * np.pi * self.estimate.freq_offset * n)
+        return self.estimate.gain * wave * ramp, base
+
+    def core_slice(self, i0: int, i1: int, base: int,
+                   segment_len: int) -> slice:
+        """Slice of an image segment covering only the chunk's symbol
+        centres (pulse tails excluded) — the region used for the §4.2.4(b)
+        amplitude/phase error measurement."""
+        first = int(np.floor(self.start + self.shaper.sps * i0)) - base
+        last = int(np.ceil(self.start + self.shaper.sps * (i1 - 1))) - base
+        first = max(first, 0)
+        last = min(last + 1, segment_len)
+        return slice(first, last)
+
+
+def subtract_segment(buffer: np.ndarray, segment: np.ndarray,
+                     base: int) -> None:
+    """In-place ``buffer[base:base+len] -= segment`` with edge clipping."""
+    lo = max(base, 0)
+    hi = min(base + segment.size, buffer.size)
+    if hi <= lo:
+        return
+    buffer[lo:hi] -= segment[lo - base: hi - base]
+
+
+def add_segment(buffer: np.ndarray, segment: np.ndarray, base: int) -> None:
+    """In-place ``buffer[base:base+len] += segment`` with edge clipping."""
+    lo = max(base, 0)
+    hi = min(base + segment.size, buffer.size)
+    if hi <= lo:
+        return
+    buffer[lo:hi] += segment[lo - base: hi - base]

@@ -1,0 +1,46 @@
+"""Shared fixtures: seeded RNGs and the common PHY objects.
+
+Session-scoped where construction is deterministic and reused heavily;
+function-scoped RNGs keep tests independent of execution order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.phy.frame import Frame
+from repro.phy.preamble import default_preamble
+from repro.phy.pulse import PulseShaper
+from repro.receiver.frontend import StreamConfig
+from repro.utils.bits import random_bits
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def preamble():
+    return default_preamble(32)
+
+
+@pytest.fixture(scope="session")
+def shaper():
+    return PulseShaper()
+
+
+@pytest.fixture
+def stream_config(preamble, shaper):
+    return StreamConfig(preamble=preamble, shaper=shaper, noise_power=1.0)
+
+
+@pytest.fixture
+def small_frame(rng, preamble):
+    return Frame.make(random_bits(128, rng), src=1, seq=3,
+                      preamble=preamble)
+
+
+def make_frame(rng, preamble, n_bits=128, **kwargs):
+    return Frame.make(random_bits(n_bits, rng), preamble=preamble, **kwargs)

@@ -1,0 +1,84 @@
+"""Capacity region (Fig 1-3) and error-decay theory (§4.3a) tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.analysis.capacity import (
+    CapacityRegion,
+    point_is_decodable,
+    rate_pair_for_equal_rates,
+)
+from repro.analysis.theory import (
+    bpsk_ber,
+    error_propagation_probability,
+    expected_error_run_length,
+    qfunc,
+)
+
+
+class TestCapacityRegion:
+    def test_fig_1_3_claim(self):
+        """(R, R) with R the single-user rate is never decodable."""
+        for snr in (0.5, 1.0, 10.0, 100.0):
+            rate, inside = rate_pair_for_equal_rates(snr)
+            assert rate == pytest.approx(math.log2(1 + snr))
+            assert not inside
+
+    def test_half_rate_pair_is_decodable(self):
+        """ZigZag's effective rate R/2 per collision slot is inside."""
+        snr = 10.0
+        rate = math.log2(1 + snr) / 2
+        assert point_is_decodable(snr, snr, rate, rate)
+
+    def test_single_user_corner(self):
+        region = CapacityRegion(10.0, 10.0)
+        assert region.contains(region.max_rate_a, 0.0)
+        assert not region.contains(region.max_rate_a + 0.1, 0.0)
+
+    def test_sum_constraint_binds(self):
+        region = CapacityRegion(10.0, 10.0)
+        half_sum = region.sum_capacity / 2
+        assert region.contains(half_sum, half_sum)
+        assert not region.contains(half_sum + 0.05, half_sum + 0.05)
+
+    def test_corner_points_inside(self):
+        region = CapacityRegion(5.0, 2.0)
+        for ra, rb in region.corner_points():
+            assert region.contains(ra, rb)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CapacityRegion(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            CapacityRegion(1.0, 1.0).contains(-0.1, 0.0)
+
+
+class TestTheory:
+    def test_qfunc_values(self):
+        assert qfunc(0.0) == pytest.approx(0.5)
+        assert qfunc(3.0) == pytest.approx(0.00135, rel=0.01)
+
+    def test_bpsk_ber_known_point(self):
+        # At Es/N0 = 9.6 dB, BPSK BER ~ 1e-5.
+        assert bpsk_ber(10 ** 0.96) == pytest.approx(1e-5, rel=0.5)
+
+    def test_bpsk_ber_monotone(self):
+        assert bpsk_ber(1.0) > bpsk_ber(2.0) > bpsk_ber(4.0)
+
+    def test_paper_one_sixth(self):
+        """§4.3a: propagation probability is 1/6 for BPSK."""
+        assert error_propagation_probability() == pytest.approx(1 / 6)
+
+    def test_expected_run_length(self):
+        assert expected_error_run_length() == pytest.approx(1.2)
+        assert expected_error_run_length(0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bpsk_ber(-1.0)
+        with pytest.raises(ConfigurationError):
+            expected_error_run_length(1.0)
+        with pytest.raises(ConfigurationError):
+            error_propagation_probability(0.0)

@@ -1,0 +1,63 @@
+"""Collision buffer tests (§4.2.2 storage behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.correlation import CorrelationPeak
+from repro.receiver.buffer import CollisionBuffer, CollisionRecord
+
+
+def peak(position):
+    return CorrelationPeak(position=position, fine_offset=0.0,
+                           value=1.0 + 0j, score=0.9)
+
+
+class TestBuffer:
+    def test_fifo_capacity(self):
+        buffer = CollisionBuffer(capacity=2)
+        for i in range(3):
+            buffer.add(np.ones(4, complex), [peak(0), peak(10 + i)])
+        assert len(buffer) == 2
+        offsets = [r.offset for r in buffer]
+        assert offsets == [11, 12]  # the oldest record was evicted
+
+    def test_newest_first(self):
+        buffer = CollisionBuffer(capacity=3)
+        for i in range(3):
+            buffer.add(np.ones(4, complex), [peak(0), peak(10 + i)],
+                       meta={"i": i})
+        order = [r.meta["i"] for r in buffer.newest_first()]
+        assert order == [2, 1, 0]
+
+    def test_remove_and_clear(self):
+        buffer = CollisionBuffer()
+        record = buffer.add(np.ones(4, complex), [peak(0), peak(5)])
+        buffer.remove(record)
+        assert len(buffer) == 0
+        buffer.remove(record)  # idempotent
+        buffer.add(np.ones(4, complex), [peak(0), peak(5)])
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_sequence_increments(self):
+        buffer = CollisionBuffer()
+        r1 = buffer.add(np.ones(4, complex), [peak(0)])
+        r2 = buffer.add(np.ones(4, complex), [peak(0)])
+        assert r2.sequence == r1.sequence + 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollisionBuffer(capacity=0)
+
+
+class TestRecord:
+    def test_offset(self):
+        record = CollisionRecord(np.ones(4, complex),
+                                 [peak(7), peak(30)])
+        assert record.offset == 23
+
+    def test_offset_requires_two_peaks(self):
+        record = CollisionRecord(np.ones(4, complex), [peak(7)])
+        with pytest.raises(ConfigurationError):
+            _ = record.offset

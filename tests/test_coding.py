@@ -1,0 +1,130 @@
+"""Tests for the §6(a) coding extension: conv code, Viterbi, interleaver,
+and coded-over-ZigZag decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.coding.interleaver import BlockInterleaver
+from repro.phy.coding.iterative import (
+    coded_length,
+    decode_coded_soft,
+    encode_for_zigzag,
+)
+from repro.utils.bits import random_bits
+
+
+CODE = ConvolutionalCode()
+
+
+class TestConvolutionalCode:
+    def test_rate_and_length(self):
+        bits = np.array([1, 0, 1, 1], dtype=np.uint8)
+        coded = CODE.encode(bits)
+        assert coded.size == 2 * (4 + 6)
+
+    def test_known_impulse_response(self):
+        """A single 1 followed by the zero tail produces the generator
+        polynomials' taps as output."""
+        coded = CODE.encode(np.array([1], dtype=np.uint8))
+        # First output pair: both generators see the input bit -> (1, 1).
+        assert coded[0] == 1 and coded[1] == 1
+
+    def test_roundtrip_noiseless(self, rng):
+        bits = random_bits(120, rng)
+        assert np.array_equal(CODE.decode_hard(CODE.encode(bits)), bits)
+
+    def test_corrects_scattered_errors(self, rng):
+        bits = random_bits(200, rng)
+        coded = CODE.encode(bits)
+        corrupted = coded.copy()
+        # Flip well-separated bits: free distance 10 handles these easily.
+        for position in range(5, corrupted.size, 60):
+            corrupted[position] ^= 1
+        assert np.array_equal(CODE.decode_hard(corrupted), bits)
+
+    def test_soft_beats_hard(self, rng):
+        """Soft-decision decoding tolerates more noise than hard."""
+        bits = random_bits(300, rng)
+        coded = CODE.encode(bits).astype(float)
+        soft_clean = 1.0 - 2.0 * coded
+        noisy = soft_clean + 0.9 * rng.standard_normal(soft_clean.size)
+        soft_errors = np.count_nonzero(
+            CODE.decode_soft(noisy) != bits)
+        hard_bits = (noisy < 0).astype(np.uint8)
+        hard_errors = np.count_nonzero(
+            CODE.decode_hard(hard_bits) != bits)
+        assert soft_errors <= hard_errors
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCode(generators=(0o7,), constraint_length=3)
+        with pytest.raises(ConfigurationError):
+            ConvolutionalCode(generators=(0o777, 0o5), constraint_length=3)
+        with pytest.raises(ConfigurationError):
+            CODE.decode_soft(np.zeros(3))
+
+    @given(st.integers(1, 80), st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, n, seed):
+        bits = random_bits(n, np.random.default_rng(seed))
+        assert np.array_equal(CODE.decode_hard(CODE.encode(bits)), bits)
+
+
+class TestInterleaver:
+    def test_roundtrip(self, rng):
+        inter = BlockInterleaver(depth=8)
+        data = random_bits(100, rng)
+        assert np.array_equal(
+            inter.deinterleave(inter.interleave(data), 100), data)
+
+    def test_spreads_bursts(self, rng):
+        inter = BlockInterleaver(depth=8)
+        data = np.zeros(128, dtype=np.uint8)
+        shuffled = inter.interleave(data)
+        shuffled[:8] = 1  # an 8-long burst in the channel
+        restored = inter.deinterleave(shuffled, 128)
+        positions = np.flatnonzero(restored)
+        assert positions.size == 8
+        assert np.min(np.diff(positions)) >= 8  # burst fully dispersed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(depth=0)
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(depth=4).deinterleave(np.zeros(7), 100)
+
+
+class TestCodedZigZag:
+    def test_encode_length(self):
+        assert encode_for_zigzag(np.zeros(100, np.uint8)).size \
+            == coded_length(100)
+
+    def test_coded_roundtrip_clean(self, rng):
+        payload = random_bits(150, rng)
+        on_air = encode_for_zigzag(payload)
+        soft = (2.0 * on_air.astype(float) - 1.0).astype(complex)
+        decoded = decode_coded_soft(soft, 150)
+        assert np.array_equal(decoded, payload)
+
+    def test_code_cleans_zigzag_style_bursts(self, rng):
+        """§6(a)'s promise: residual ZigZag errors (short bursts,
+        Fig 4-4) are removed by the bit-level code."""
+        payload = random_bits(200, rng)
+        on_air = encode_for_zigzag(payload)
+        soft = (2.0 * on_air.astype(float) - 1.0)
+        soft = soft + 0.45 * rng.standard_normal(soft.size)
+        # Inject a few short bursts like a zigzag subtraction hiccup.
+        for start in (40, 180, 400):
+            soft[start:start + 3] *= -0.5
+        raw_bits = (soft > 0).astype(np.uint8)
+        raw_errors = np.count_nonzero(raw_bits != on_air)
+        decoded = decode_coded_soft(soft.astype(complex), 200)
+        assert raw_errors > 0
+        assert np.array_equal(decoded, payload)
+
+    def test_needs_enough_soft_values(self):
+        with pytest.raises(ConfigurationError):
+            decode_coded_soft(np.zeros(10, complex), 100)

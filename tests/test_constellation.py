@@ -1,0 +1,101 @@
+"""Constellation mapping tests, including Gray-coding and conjugation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.constellation import (
+    BPSK,
+    QAM16,
+    QAM64,
+    QPSK,
+    get_constellation,
+)
+
+ALL = [BPSK, QPSK, QAM16, QAM64]
+
+
+class TestBasics:
+    def test_bpsk_matches_paper_mapping(self):
+        # Ch.3: "0" -> -1, "1" -> +1.
+        assert BPSK.modulate([0])[0] == -1
+        assert BPSK.modulate([1])[0] == 1
+
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_unit_average_energy(self, c):
+        assert np.mean(np.abs(c.points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_points_distinct(self, c):
+        assert len(set(np.round(c.points, 9))) == c.size
+
+    def test_registry_lookup(self):
+        assert get_constellation("qam16") is QAM16
+        with pytest.raises(ConfigurationError):
+            get_constellation("qam512")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_all_labels_roundtrip(self, c):
+        n = c.size
+        bits = np.array(
+            [(label >> (c.bits_per_symbol - 1 - i)) & 1
+             for label in range(n) for i in range(c.bits_per_symbol)],
+            dtype=np.uint8)
+        symbols = c.modulate(bits)
+        assert np.array_equal(c.demodulate(symbols), bits)
+
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_roundtrip_with_small_noise(self, c):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 20 * c.bits_per_symbol, dtype=np.uint8)
+        symbols = c.modulate(bits)
+        noisy = symbols + 0.01 * (rng.standard_normal(symbols.size)
+                                  + 1j * rng.standard_normal(symbols.size))
+        assert np.array_equal(c.demodulate(noisy), bits)
+
+    @given(st.lists(st.integers(0, 1), min_size=6, max_size=60))
+    def test_bpsk_property_roundtrip(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        assert np.array_equal(BPSK.demodulate(BPSK.modulate(arr)), arr)
+
+
+class TestGrayCoding:
+    @pytest.mark.parametrize("c", [QPSK, QAM16, QAM64],
+                             ids=lambda c: c.name)
+    def test_nearest_neighbours_differ_by_one_bit(self, c):
+        """Gray mapping: closest constellation points differ in one bit."""
+        d_min = c.min_distance()
+        for i in range(c.size):
+            for j in range(c.size):
+                if i == j:
+                    continue
+                if abs(c.points[i] - c.points[j]) < d_min * 1.001:
+                    assert bin(i ^ j).count("1") == 1
+
+
+class TestConjugate:
+    @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
+    def test_conjugate_closed_point_set(self, c):
+        original = set(np.round(c.points, 9))
+        conjugated = set(np.round(c.conjugate().points, 9))
+        assert original == conjugated
+
+    def test_conjugate_maps_symbols(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 40, dtype=np.uint8)
+        conj_symbols = np.conj(QAM16.modulate(bits))
+        assert np.array_equal(QAM16.conjugate().demodulate(conj_symbols),
+                              bits)
+
+
+class TestErrors:
+    def test_bit_count_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            QAM16.modulate([1, 0, 1])
+
+    def test_slice_projects_to_points(self):
+        sliced = QPSK.slice_symbols([0.9 + 0.6j])
+        assert sliced[0] in QPSK.points

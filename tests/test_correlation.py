@@ -1,0 +1,87 @@
+"""Symbol-domain sliding-correlation tests (the §4.2.1 primitive)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CollisionDetectError, ConfigurationError
+from repro.phy.correlation import (
+    find_correlation_peaks,
+    normalized_sliding_correlation,
+    refine_peak_position,
+    sliding_correlation,
+)
+from repro.phy.preamble import default_preamble
+
+
+class TestSlidingCorrelation:
+    def test_peak_at_preamble_start(self, preamble, rng):
+        signal = np.concatenate([
+            np.zeros(40, complex), preamble.symbols,
+            (2 * rng.integers(0, 2, 100) - 1).astype(complex),
+        ])
+        corr = sliding_correlation(signal, preamble)
+        assert int(np.argmax(np.abs(corr))) == 40
+
+    def test_frequency_compensation_restores_peak(self, preamble):
+        f = 5e-3
+        k = np.arange(len(preamble))
+        signal = np.concatenate([
+            np.zeros(10, complex),
+            preamble.symbols * np.exp(2j * np.pi * f * k),
+            np.zeros(10, complex),
+        ])
+        plain = np.abs(sliding_correlation(signal, preamble))
+        comp = np.abs(sliding_correlation(signal, preamble, freq_offset=f))
+        assert comp[10] > plain[10]
+        assert comp[10] == pytest.approx(preamble.energy, rel=1e-6)
+
+    def test_signal_too_short(self, preamble):
+        with pytest.raises(CollisionDetectError):
+            sliding_correlation(np.zeros(8, complex), preamble)
+
+
+class TestNormalized:
+    def test_score_bounded(self, preamble, rng):
+        signal = np.concatenate([
+            preamble.symbols * 3.0,
+            (rng.standard_normal(80) + 1j * rng.standard_normal(80)),
+        ])
+        scores = normalized_sliding_correlation(signal, preamble)
+        assert np.all(scores <= 1.0 + 1e-9)
+        assert scores[0] > 0.9
+
+    def test_power_invariance(self, preamble, rng):
+        noise = rng.standard_normal(100) + 1j * rng.standard_normal(100)
+        weak = np.concatenate([0.1 * preamble.symbols, 0.1 * noise])
+        strong = np.concatenate([10 * preamble.symbols, 10 * noise])
+        s_weak = normalized_sliding_correlation(weak, preamble)
+        s_strong = normalized_sliding_correlation(strong, preamble)
+        assert s_weak[0] == pytest.approx(s_strong[0], rel=1e-9)
+
+
+class TestPeakFinding:
+    def test_finds_both_packets(self, preamble, rng):
+        data = (2 * rng.integers(0, 2, 60) - 1).astype(complex)
+        signal = np.concatenate([
+            preamble.symbols, data, preamble.symbols, data,
+        ]) + 0.05 * (rng.standard_normal(184)
+                     + 1j * rng.standard_normal(184))
+        peaks = find_correlation_peaks(signal, preamble, threshold=0.5)
+        assert [p.position for p in peaks] == [0, 92]
+
+    def test_threshold_validation(self, preamble):
+        with pytest.raises(ConfigurationError):
+            find_correlation_peaks(np.zeros(64, complex), preamble,
+                                   threshold=0.0)
+
+    def test_max_peaks_limit(self, preamble, rng):
+        signal = np.concatenate([preamble.symbols] * 3).astype(complex)
+        peaks = find_correlation_peaks(signal, preamble, threshold=0.3,
+                                       max_peaks=1)
+        assert len(peaks) == 1
+
+    def test_refine_peak_degenerate_cases(self):
+        flat = np.ones(5)
+        assert refine_peak_position(flat, 2) == 0.0
+        assert refine_peak_position(flat, 0) == 0.0
+        assert refine_peak_position(flat, 4) == 0.0

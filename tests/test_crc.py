@@ -1,0 +1,71 @@
+"""CRC-32 tests: known vectors, error detection, bit-level helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.phy.crc import append_crc32, crc32, crc32_bits, crc32_check, strip_crc32
+
+
+class TestKnownVectors:
+    def test_standard_check_value(self):
+        # The canonical CRC-32 test vector.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_empty(self):
+        assert crc32(b"") == 0x00000000
+
+    def test_matches_zlib(self):
+        import zlib
+        for data in (b"hello", b"\x00" * 16, bytes(range(100))):
+            assert crc32(data) == zlib.crc32(data)
+
+
+class TestBitLevel:
+    def test_append_and_check(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0] * 4, dtype=np.uint8)
+        framed = append_crc32(bits)
+        assert framed.size == bits.size + 32
+        assert crc32_check(framed)
+
+    def test_single_bit_error_detected(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 64, dtype=np.uint8)
+        framed = append_crc32(bits)
+        for position in (0, 17, framed.size - 1):
+            corrupted = framed.copy()
+            corrupted[position] ^= 1
+            assert not crc32_check(corrupted)
+
+    def test_strip_returns_payload(self):
+        bits = np.array([1, 1, 0, 0] * 8, dtype=np.uint8)
+        payload, ok = strip_crc32(append_crc32(bits))
+        assert ok and np.array_equal(payload, bits)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            strip_crc32(np.zeros(16, dtype=np.uint8))
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=200))
+    def test_roundtrip_property(self, bits):
+        framed = append_crc32(np.array(bits, dtype=np.uint8))
+        assert crc32_check(framed)
+
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=100),
+           st.integers(min_value=0, max_value=10_000))
+    def test_burst_errors_detected(self, bits, seed):
+        """Any burst of up to 32 flipped bits must be caught."""
+        framed = append_crc32(np.array(bits, dtype=np.uint8))
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, framed.size))
+        length = int(rng.integers(1, min(32, framed.size - start) + 1))
+        corrupted = framed.copy()
+        corrupted[start:start + length] ^= 1
+        if not np.array_equal(corrupted, framed):
+            assert not crc32_check(corrupted)
+
+    def test_non_byte_aligned_payloads(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        assert crc32_bits(bits).size == 32
+        assert crc32_check(append_crc32(bits))

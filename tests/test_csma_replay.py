@@ -1,0 +1,66 @@
+"""Tests for the §5.2 MAC-trace -> signal-replay bridge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.dcf import DcfConfig, DcfSimulator
+from repro.testbed.csma import plan_from_trace
+
+
+def hidden_trace(packets=6, seed=0, duration=300.0):
+    sense = np.array([[True, False], [False, True]])
+    sim = DcfSimulator(2, sense, DcfConfig(packet_duration_us=duration),
+                       np.random.default_rng(seed))
+    return sim.run(packets)
+
+
+def sensing_trace(packets=6, seed=0, duration=300.0):
+    sense = np.ones((2, 2), dtype=bool)
+    sim = DcfSimulator(2, sense, DcfConfig(packet_duration_us=duration),
+                       np.random.default_rng(seed))
+    return sim.run(packets)
+
+
+class TestPlanFromTrace:
+    def test_hidden_pair_produces_collisions(self):
+        plan = plan_from_trace(hidden_trace())
+        assert len(plan.collisions) > 0
+
+    def test_sensing_pair_mostly_clean(self):
+        plan = plan_from_trace(sensing_trace())
+        assert len(plan.clean) > len(plan.collisions)
+
+    def test_offsets_start_at_zero_and_ordered(self):
+        plan = plan_from_trace(hidden_trace())
+        for event in plan.collisions:
+            assert event.offsets_samples[0] == 0
+            assert list(event.offsets_samples) \
+                == sorted(event.offsets_samples)
+
+    def test_paper_rate_is_one_sample_per_us(self):
+        """500 kb/s BPSK at 2 samples/symbol: 1 us == 1 sample, so a
+        20 us slot difference becomes a 20-sample offset."""
+        plan = plan_from_trace(hidden_trace())
+        slot_aligned = [
+            off for event in plan.collisions
+            for off in event.offsets_samples[1:]
+        ]
+        assert all(off % 20 == 0 for off in slot_aligned)
+
+    def test_pair_filter(self):
+        plan = plan_from_trace(hidden_trace())
+        rounds = plan.collision_rounds_for(0, 1)
+        assert rounds == plan.collisions  # only two senders exist
+        assert plan.collision_rounds_for(0, 7) == []
+
+    def test_bitrate_validation(self):
+        with pytest.raises(ConfigurationError):
+            plan_from_trace(hidden_trace(), bitrate_bps=0.0)
+
+    def test_event_counts_conserved(self):
+        trace = hidden_trace()
+        plan = plan_from_trace(trace)
+        replayed = len(plan.clean) + sum(
+            event.n_senders for event in plan.collisions)
+        assert replayed == len(trace.events)

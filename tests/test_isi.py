@@ -1,0 +1,83 @@
+"""ISI filter and inversion tests (§3.1.3, §4.2.4d)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.isi import IsiFilter, default_isi_taps, invert_fir
+
+
+class TestIsiFilter:
+    def test_identity(self):
+        f = IsiFilter.identity()
+        x = np.arange(10, dtype=complex)
+        assert np.array_equal(f.apply(x), x)
+        assert f.is_identity
+
+    def test_main_tap_alignment(self):
+        """The dominant tap maps input index k to output index k."""
+        f = IsiFilter(np.array([0.1, 1.0, 0.2], complex))
+        x = np.zeros(16, complex)
+        x[8] = 1.0
+        y = f.apply(x)
+        assert int(np.argmax(np.abs(y))) == 8
+
+    def test_length_preserved(self):
+        f = IsiFilter(default_isi_taps(0.3))
+        assert f.apply(np.ones(37, complex)).size == 37
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IsiFilter(np.array([], complex))
+
+    def test_linearity(self, rng):
+        f = IsiFilter(default_isi_taps(0.4))
+        a = rng.standard_normal(50) + 1j * rng.standard_normal(50)
+        b = rng.standard_normal(50) + 1j * rng.standard_normal(50)
+        assert np.allclose(f.apply(a + 2 * b),
+                           f.apply(a) + 2 * f.apply(b))
+
+
+class TestInversion:
+    def test_inverse_cancels_channel(self, rng):
+        taps = default_isi_taps(0.3)
+        channel = IsiFilter(taps)
+        equalizer = channel.inverse(length=41, regularization=1e-6)
+        x = rng.standard_normal(200) + 1j * rng.standard_normal(200)
+        y = equalizer.apply(channel.apply(x))
+        core = slice(25, -25)
+        assert np.max(np.abs(y[core] - x[core])) < 0.02
+
+    def test_invert_fir_of_delta(self):
+        inv = invert_fir(np.array([1.0 + 0j]), length=9,
+                         regularization=1e-9)
+        center = int(np.argmax(np.abs(inv)))
+        assert abs(inv[center]) == pytest.approx(1.0, rel=1e-3)
+
+    def test_inverse_length_check(self):
+        with pytest.raises(ConfigurationError):
+            invert_fir(np.ones(5, complex), length=3)
+
+    def test_double_inversion_roundtrip(self, rng):
+        taps = default_isi_taps(0.25)
+        inv = IsiFilter(taps).inverse(41, 1e-8)
+        back = inv.inverse(41, 1e-8)
+        x = rng.standard_normal(160) + 1j * rng.standard_normal(160)
+        y = back.apply(x)
+        direct = IsiFilter(taps).apply(x)
+        error = np.mean(np.abs(y[30:-30] - direct[30:-30]) ** 2)
+        assert error < 0.01 * np.mean(np.abs(direct) ** 2)
+
+
+class TestDefaultTaps:
+    def test_zero_strength_is_delta(self):
+        taps = default_isi_taps(0.0)
+        assert np.count_nonzero(np.abs(taps) > 1e-12) == 1
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_isi_taps(-0.5)
+
+    def test_normalized_to_unit_main_tap(self):
+        taps = default_isi_taps(0.7)
+        assert np.abs(taps).max() == pytest.approx(1.0)

@@ -1,0 +1,157 @@
+"""MAC substrate tests: timing, backoff, ACK lemma, DCF, hidden scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.ack import AckPlanner, ack_offset_lower_bound, ack_offset_probability
+from repro.mac.backoff import ExponentialBackoff, FixedWindowBackoff
+from repro.mac.dcf import DcfConfig, DcfSimulator, TransmissionEvent
+from repro.mac.hidden import HiddenScenario, collision_offset_pairs, slot_to_samples
+from repro.mac.timing import TIMING_80211A, TIMING_80211G, Timing
+
+
+class TestTiming:
+    def test_80211g_values_match_paper(self):
+        t = TIMING_80211G
+        assert t.slot_us == 20.0
+        assert t.sifs_us == 10.0
+        assert t.ack_us == 30.0
+
+    def test_difs(self):
+        assert TIMING_80211G.difs_us == 10.0 + 40.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Timing("bad", slot_us=0.0, sifs_us=1, ack_us=1, cw_min=1,
+                   cw_max=2)
+        with pytest.raises(ConfigurationError):
+            Timing("bad", slot_us=1, sifs_us=1, ack_us=1, cw_min=8,
+                   cw_max=4)
+
+    def test_backoff_us(self):
+        assert TIMING_80211A.backoff_us(3) == 27.0
+        with pytest.raises(ConfigurationError):
+            TIMING_80211A.backoff_us(-1)
+
+
+class TestBackoff:
+    def test_fixed_window_range(self):
+        picker = FixedWindowBackoff(cw=8)
+        rng = np.random.default_rng(0)
+        slots = [picker.pick(attempt, rng) for attempt in range(5)
+                 for _ in range(200)]
+        assert min(slots) >= 0 and max(slots) <= 8
+
+    def test_exponential_doubles_and_caps(self):
+        picker = ExponentialBackoff(cw_min=31, cw_max=1023)
+        assert picker.window(0) == 31
+        assert picker.window(1) == 63
+        assert picker.window(2) == 127
+        assert picker.window(10) == 1023
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedWindowBackoff(cw=0)
+        with pytest.raises(ConfigurationError):
+            ExponentialBackoff(cw_min=0)
+        with pytest.raises(ConfigurationError):
+            FixedWindowBackoff(cw=4).window(-1)
+
+
+class TestAckLemma:
+    def test_paper_bound_exact(self):
+        """Lemma 4.4.1: the 802.11g bound evaluates to exactly 0.9375."""
+        assert ack_offset_lower_bound() == pytest.approx(0.9375)
+
+    def test_monte_carlo_near_bound(self):
+        probability = ack_offset_probability(n_trials=200_000)
+        # The two-sided MC event is slightly stricter than the one-sided
+        # analytic bound; it must still be high.
+        assert 0.85 <= probability <= 0.9375 + 0.01
+
+    def test_probability_grows_with_cw(self):
+        p_small = ack_offset_probability(cw=8, n_trials=50_000)
+        p_large = ack_offset_probability(cw=64, n_trials=50_000)
+        assert p_large > p_small
+
+    def test_planner_feasibility(self):
+        planner = AckPlanner()
+        plan = planner.plan(offset_us=100.0, first_duration_us=1000.0,
+                            second_duration_us=1000.0)
+        assert plan.feasible
+        assert plan.ack_first_at == pytest.approx(1010.0)
+        tight = planner.plan(offset_us=10.0, first_duration_us=1000.0,
+                             second_duration_us=1000.0)
+        assert not tight.feasible
+
+    def test_planner_padding_covers_gap(self):
+        plan = AckPlanner().plan(offset_us=200.0,
+                                 first_duration_us=1000.0,
+                                 second_duration_us=1000.0)
+        # padding fills from end of first ack to the second packet's end
+        assert plan.padding_us == pytest.approx(
+            1200.0 - (1000.0 + 10.0 + 30.0))
+
+    def test_planner_validation(self):
+        with pytest.raises(ConfigurationError):
+            AckPlanner().plan(offset_us=-1.0, first_duration_us=10,
+                              second_duration_us=10)
+
+
+class TestDcf:
+    def make_sim(self, hidden, seed=0, duration=300.0):
+        sense = np.array([[True, not hidden], [not hidden, True]])
+        return DcfSimulator(2, sense,
+                            DcfConfig(packet_duration_us=duration),
+                            np.random.default_rng(seed))
+
+    def test_hidden_pair_collides(self):
+        trace = self.make_sim(hidden=True).run(10)
+        assert len(trace.collision_groups()) > 0
+
+    def test_sensing_pair_rarely_collides(self):
+        trace = self.make_sim(hidden=False).run(10)
+        clean = len(trace.clean_events())
+        collided = sum(len(g) for g in trace.collision_groups())
+        assert clean > collided
+
+    def test_all_packets_resolved(self):
+        trace = self.make_sim(hidden=True).run(5)
+        resolved = len(trace.delivered) + len(trace.dropped)
+        assert resolved == 10  # 2 senders x 5 packets
+
+    def test_event_overlap_helper(self):
+        a = TransmissionEvent(0, 0, 0, 0.0, 10.0)
+        b = TransmissionEvent(1, 0, 0, 5.0, 15.0)
+        c = TransmissionEvent(1, 1, 0, 10.0, 20.0)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_sense_matrix_validation(self):
+        with pytest.raises(ConfigurationError):
+            DcfSimulator(3, np.eye(2, dtype=bool))
+
+
+class TestHiddenScenario:
+    def test_slot_to_samples_paper_config(self):
+        # 20us slot at 500 kb/s BPSK, 2 samples/symbol -> 20 samples.
+        assert slot_to_samples(TIMING_80211G, 500e3) == 20
+
+    def test_offsets_multiple_of_slot(self):
+        scenario = HiddenScenario(n_senders=3, slot_samples=20)
+        rounds = scenario.collision_offsets(np.random.default_rng(0), 4)
+        assert len(rounds) == 4
+        for offsets in rounds:
+            assert min(offsets) == 0
+            assert all(o % 20 == 0 for o in offsets)
+
+    def test_offset_pairs(self):
+        pairs = collision_offset_pairs(np.random.default_rng(1), n_pairs=50,
+                                       slot_samples=20)
+        assert len(pairs) == 50
+        assert all(d1 % 20 == 0 and d2 % 20 == 0 for d1, d2 in pairs)
+
+    def test_needs_two_senders(self):
+        with pytest.raises(ConfigurationError):
+            HiddenScenario(n_senders=1)

@@ -1,0 +1,74 @@
+"""AWGN and SNR bookkeeping tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.noise import (
+    awgn,
+    db_to_linear,
+    ebn0_db_to_snr_db,
+    linear_to_db,
+    noise_power_for_snr_db,
+    signal_power,
+    snr_db,
+    snr_db_to_ebn0_db,
+)
+
+
+class TestConversions:
+    def test_db_roundtrip(self):
+        assert linear_to_db(db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_known_values(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(3.0) == pytest.approx(1.995, rel=1e-3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            linear_to_db(0.0)
+
+    def test_ebn0_snr_inverse(self):
+        for k in (1, 2, 4, 6):
+            assert snr_db_to_ebn0_db(ebn0_db_to_snr_db(5.0, k), k) \
+                == pytest.approx(5.0)
+
+    def test_bpsk_ebn0_equals_snr(self):
+        assert ebn0_db_to_snr_db(8.0, 1) == pytest.approx(8.0)
+
+
+class TestAwgn:
+    def test_power_matches_request(self):
+        rng = np.random.default_rng(0)
+        noise = awgn(200_000, 2.5, rng)
+        assert signal_power(noise) == pytest.approx(2.5, rel=0.02)
+
+    def test_circular_symmetry(self):
+        rng = np.random.default_rng(1)
+        noise = awgn(100_000, 1.0, rng)
+        assert np.mean(noise.real ** 2) == pytest.approx(0.5, rel=0.05)
+        assert np.mean(noise.imag ** 2) == pytest.approx(0.5, rel=0.05)
+        assert abs(np.mean(noise)) < 0.01
+
+    def test_zero_power(self):
+        noise = awgn(10, 0.0, np.random.default_rng(0))
+        assert np.all(noise == 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            awgn(10, -1.0, np.random.default_rng(0))
+
+
+class TestSnr:
+    def test_empirical_snr(self):
+        rng = np.random.default_rng(2)
+        signal = 3.0 * np.exp(1j * rng.uniform(0, 2 * np.pi, 50_000))
+        noise = awgn(50_000, 1.0, rng)
+        assert snr_db(signal, noise) == pytest.approx(
+            linear_to_db(9.0), abs=0.1)
+
+    def test_noise_power_for_snr(self):
+        assert noise_power_for_snr_db(10.0, signal_pwr=2.0) \
+            == pytest.approx(0.2)
+        with pytest.raises(ConfigurationError):
+            noise_power_for_snr_db(10.0, signal_pwr=0.0)

@@ -1,0 +1,67 @@
+"""Preamble (m-sequence) tests: autocorrelation and correlation API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.preamble import Preamble, default_preamble, lfsr_sequence
+
+
+class TestLfsr:
+    def test_maximal_period(self):
+        # Order-7 m-sequence repeats with period 2^7 - 1 = 127.
+        seq = lfsr_sequence(254, order=7)
+        assert np.array_equal(seq[:127], seq[127:254])
+        assert not np.array_equal(seq[:63], seq[63:126])
+
+    def test_balanced(self):
+        seq = lfsr_sequence(127, order=7)
+        assert abs(int(seq.sum()) - 64) <= 1
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lfsr_sequence(10, order=7, seed_state=0)
+
+    def test_unsupported_order(self):
+        with pytest.raises(ConfigurationError):
+            lfsr_sequence(10, order=3)
+
+
+class TestPreamble:
+    def test_symbols_are_plus_minus_one(self):
+        p = default_preamble(32)
+        assert set(np.unique(p.symbols.real)) == {-1.0, 1.0}
+        assert np.all(p.symbols.imag == 0)
+
+    def test_energy(self):
+        p = default_preamble(32)
+        assert p.energy == pytest.approx(32.0)
+
+    def test_autocorrelation_peak_dominates(self):
+        p = default_preamble(32)
+        signal = np.concatenate([np.zeros(10, complex), p.symbols,
+                                 np.zeros(10, complex)])
+        values = [abs(p.correlate_at(signal, pos)) for pos in range(20)]
+        assert np.argmax(values) == 10
+        side = max(v for i, v in enumerate(values) if abs(i - 10) > 1)
+        assert values[10] > 2.5 * side
+
+    def test_correlate_with_freq_compensation(self):
+        p = default_preamble(32)
+        f = 3e-3
+        k = np.arange(32)
+        received = p.symbols * np.exp(2j * np.pi * f * k)
+        uncompensated = abs(p.correlate_at(received, 0))
+        compensated = abs(p.correlate_at(received, 0,
+                                         freq_offset_cycles_per_sample=f))
+        assert compensated == pytest.approx(32.0, rel=1e-6)
+        assert compensated > uncompensated
+
+    def test_too_short_signal_rejected(self):
+        p = default_preamble(32)
+        with pytest.raises(ConfigurationError):
+            p.correlate_at(np.zeros(10, complex), 0)
+
+    def test_empty_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Preamble(np.array([], dtype=np.uint8))

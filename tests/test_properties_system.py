@@ -1,0 +1,128 @@
+"""Cross-module property tests on system-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.channel import Channel, ChannelParams
+from repro.phy.frame import Frame, scramble_bits, descramble_soft_bpsk
+from repro.phy.medium import Transmission, synthesize
+from repro.phy.preamble import default_preamble
+from repro.phy.pulse import MatchedSampler, PulseShaper
+from repro.utils.bits import random_bits
+
+PRE = default_preamble(32)
+SH = PulseShaper()
+
+
+class TestScramblerProperties:
+    @given(st.integers(0, 2**20), st.integers(8, 300),
+           st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_involution(self, seed, n, offset):
+        bits = random_bits(n, np.random.default_rng(seed))
+        once = scramble_bits(bits, offset)
+        twice = scramble_bits(once, offset)
+        assert np.array_equal(twice, bits)
+
+    @given(st.integers(0, 2**20), st.integers(8, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_soft_descramble_matches_bit_descramble(self, seed, n):
+        """Descrambling BPSK soft values then slicing equals slicing then
+        descrambling bits — the §6(a) soft path is consistent."""
+        rng = np.random.default_rng(seed)
+        bits = random_bits(n, rng)
+        scrambled = scramble_bits(bits)
+        soft_on_air = (2.0 * scrambled.astype(float) - 1.0).astype(complex)
+        soft_clean = descramble_soft_bpsk(soft_on_air)
+        sliced = (np.real(soft_clean) > 0).astype(np.uint8)
+        assert np.array_equal(sliced, bits)
+
+
+class TestMediumProperties:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_superposition_linearity(self, seed):
+        """The air is linear: a two-packet capture equals the sum of the
+        single-packet captures (same channels, no noise)."""
+        rng = np.random.default_rng(seed)
+        frames = [Frame.make(random_bits(64, rng), src=i + 1,
+                             preamble=PRE) for i in range(2)]
+        params = [ChannelParams(
+            gain=(1.0 + rng.uniform()) * np.exp(1j * rng.uniform(0, 6)),
+            freq_offset=float(rng.uniform(-4e-3, 4e-3)),
+            sampling_offset=float(rng.uniform(0, 1)))
+            for _ in range(2)]
+        offsets = [0, int(rng.integers(10, 120))]
+        txs = [Transmission.from_symbols(f.symbols, SH, p, o, str(i))
+               for i, (f, p, o) in enumerate(zip(frames, params, offsets))]
+        both = synthesize(txs, 0.0, np.random.default_rng(1),
+                          leading=4, tail=8)
+        assert np.allclose(
+            both.samples,
+            both.clean_components[0] + both.clean_components[1],
+            atol=1e-12)
+
+    @given(st.integers(0, 2**16), st.floats(0.0, 0.99))
+    @settings(max_examples=15, deadline=None)
+    def test_matched_filter_recovers_any_fractional_timing(self, seed, mu):
+        """TX shaping -> fractional delay -> matched sampling is near-
+        transparent for every sub-sample offset."""
+        rng = np.random.default_rng(seed)
+        frame = Frame.make(random_bits(96, rng), preamble=PRE)
+        params = ChannelParams(gain=1.0, sampling_offset=mu)
+        wave = Channel(params, rng).apply(SH.shape(frame.symbols))
+        out = MatchedSampler(SH).sample(wave, SH.delay + mu,
+                                        frame.n_symbols)
+        core = slice(4, -4)
+        assert np.max(np.abs(out[core] - frame.symbols[core])) < 0.05
+
+
+class TestChannelProperties:
+    @given(st.integers(0, 2**16), st.floats(-4e-3, 4e-3),
+           st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_reconstruct_deterministic(self, seed, freq, start):
+        """reconstruct() must be exactly repeatable (no hidden RNG) — the
+        property ZigZag's image subtraction depends on."""
+        params = ChannelParams(gain=1.3 * np.exp(1j * 0.2),
+                               freq_offset=freq, sampling_offset=0.37)
+        x = np.exp(1j * np.linspace(0, 5, 200))
+        a = Channel(params, np.random.default_rng(seed)).reconstruct(
+            x, start)
+        b = Channel(params, np.random.default_rng(seed + 1)).reconstruct(
+            x, start)
+        assert np.array_equal(a, b)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_channel_linearity(self, seed):
+        rng = np.random.default_rng(seed)
+        params = ChannelParams(gain=2.0 * np.exp(1j * 0.5),
+                               freq_offset=1e-3, sampling_offset=0.4)
+        ch = Channel(params, rng)
+        a = rng.standard_normal(80) + 1j * rng.standard_normal(80)
+        b = rng.standard_normal(80) + 1j * rng.standard_normal(80)
+        combined = ch.reconstruct(a + 3.0 * b, 10)
+        separate = ch.reconstruct(a, 10) + 3.0 * ch.reconstruct(b, 10)
+        assert np.allclose(combined, separate, atol=1e-10)
+
+
+class TestFrameProperties:
+    @given(st.integers(0, 2**16), st.integers(16, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_frame_symbol_count_formula(self, seed, n_bits):
+        rng = np.random.default_rng(seed)
+        frame = Frame.make(random_bits(n_bits, rng), preamble=PRE)
+        assert frame.n_symbols == 32 + 48 + n_bits + 32
+
+    @given(st.integers(0, 2**16), st.integers(16, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_identical_payload_identical_symbols(self, seed, n_bits):
+        """Retransmitting the same bits puts the same waveform on the air
+        — the property collision matching (§4.2.2) relies on."""
+        rng = np.random.default_rng(seed)
+        payload = random_bits(n_bits, rng)
+        f1 = Frame.make(payload, src=1, seq=5, preamble=PRE)
+        f2 = Frame.make(payload, src=1, seq=5, preamble=PRE)
+        assert np.array_equal(f1.symbols, f2.symbols)
