@@ -1,0 +1,29 @@
+# Convenience targets. Everything runs from the repo root with the
+# src-layout package on PYTHONPATH (no install needed).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: verify test smoke bench examples
+
+# The full gate: tier-1 tests plus a fast runner smoke sweep.
+verify: test smoke
+
+# Tier-1: the repo's unit/integration suite (tests/ only).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast end-to-end proof that the Monte-Carlo runner works: one scenario
+# run with 2 workers and one two-point sweep, straight from a TOML file.
+smoke:
+	$(PYTHON) -m repro run examples/scenarios/pair_collision.toml \
+		--trials 2 --workers 2
+	$(PYTHON) -m repro sweep examples/scenarios/capture_asymmetry.toml \
+		--trials 2 --param params.sinr_db=0:8:8 --metrics total
+
+# Regenerate every paper figure/table (slow; writes benchmarks/results/).
+bench:
+	$(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -5,6 +5,9 @@ coded pipeline (soft-decision Viterbi over the MRC-combined payload
 symbols) in the regime where residual subtraction noise still causes
 scattered bit errors. This is the first iteration of the paper's proposed
 ZigZag↔decoder loop.
+
+Ported to the Monte-Carlo runner: one trial builds and decodes one coded
+collision pair; delivery rates are run-level means.
 """
 
 import sys
@@ -15,42 +18,49 @@ sys.path.insert(0, "tests")
 
 from repro.phy.frame import HEADER_BITS, descramble_soft_bpsk
 from repro.phy.coding.iterative import decode_coded_soft
-from repro.phy.preamble import default_preamble
-from repro.phy.pulse import PulseShaper
 from repro.receiver.frontend import StreamConfig
-from repro.utils.rng import make_rng
+from repro.runner import MonteCarloRunner
+from repro.runner.cache import cached_preamble, cached_shaper
 from repro.zigzag.decoder import ZigZagPairDecoder
 
-from test_coded_zigzag_integration import coded_collision_pair
+N_TRIALS = 6
+SNR_DB = 6.5
+PAYLOAD_BITS = 120
 
-PREAMBLE = default_preamble(32)
-SHAPER = PulseShaper()
 
+def coding_trial(ctx):
+    """Decode one coded collision pair; report per-pair delivery counts."""
+    from test_coded_zigzag_integration import coded_collision_pair
 
-def run(snr_db=6.5, n_trials=6, payload_bits=120):
-    config = StreamConfig(preamble=PREAMBLE, shaper=SHAPER,
+    preamble = cached_preamble(32)
+    shaper = cached_shaper()
+    config = StreamConfig(preamble=preamble, shaper=shaper,
                           noise_power=1.0)
     decoder = ZigZagPairDecoder(config)
+    captures, frames, payloads, specs, placements = coded_collision_pair(
+        ctx.rng, preamble, shaper, SNR_DB, payload_bits=PAYLOAD_BITS)
+    outcome = decoder.decode([c.samples for c in captures], specs,
+                             placements)
     uncoded_ok = coded_ok = total = 0
-    for seed in range(n_trials):
-        rng = make_rng(5200 + seed)
-        captures, frames, payloads, specs, placements = \
-            coded_collision_pair(rng, PREAMBLE, SHAPER, snr_db,
-                                 payload_bits=payload_bits)
-        outcome = decoder.decode([c.samples for c in captures], specs,
-                                 placements)
-        for name, payload in payloads.items():
-            total += 1
-            result = outcome.results[name]
-            if result.success:      # CRC over the raw (coded) bits
-                uncoded_ok += 1
-            soft = descramble_soft_bpsk(
-                result.soft_symbols[len(PREAMBLE) + HEADER_BITS:],
-                offset=HEADER_BITS)
-            if np.array_equal(decode_coded_soft(soft, payload.size),
-                              payload):
-                coded_ok += 1
-    return uncoded_ok / total, coded_ok / total
+    for name, payload in payloads.items():
+        total += 1
+        result = outcome.results[name]
+        if result.success:      # CRC over the raw (coded) bits
+            uncoded_ok += 1
+        soft = descramble_soft_bpsk(
+            result.soft_symbols[len(preamble) + HEADER_BITS:],
+            offset=HEADER_BITS)
+        if np.array_equal(decode_coded_soft(soft, payload.size), payload):
+            coded_ok += 1
+    return {"uncoded_ok": uncoded_ok, "coded_ok": coded_ok,
+            "total": total}
+
+
+def run():
+    trials = MonteCarloRunner().map(coding_trial, N_TRIALS, seed=5200)
+    total = sum(t["total"] for t in trials)
+    return (sum(t["uncoded_ok"] for t in trials) / total,
+            sum(t["coded_ok"] for t in trials) / total)
 
 
 def test_ablation_coding_over_zigzag(benchmark, record_table):

@@ -6,58 +6,66 @@ each chunk image against the raw residual and fixes amplitude/phase/
 frequency drift ("compare the phases in chunk 1' and chunk 1''"). This
 benchmark decodes the same collision pairs with the loop enabled and
 disabled and compares residual interference and BER.
-"""
 
-import sys
+Ported to the Monte-Carlo runner: one trial decodes one collision pair
+both ways; ``MonteCarloRunner.map`` fans the trials out and the table
+averages per-trial metrics.
+"""
 
 import numpy as np
 
-sys.path.insert(0, "tests")
-
 from repro.phy.constellation import BPSK
-from repro.phy.preamble import default_preamble
-from repro.phy.pulse import PulseShaper
+from repro.phy.frame import scramble_bits
 from repro.receiver.frontend import StreamConfig
-from repro.utils.rng import make_rng
+from repro.runner import MonteCarloRunner, hidden_pair_scenario
+from repro.runner.cache import cached_preamble, cached_shaper
 from repro.zigzag.engine import ZigZagEngine
 from repro.zigzag.schedule import Placement, greedy_schedule
 
-from helpers import hidden_pair_scenario
-
-PREAMBLE = default_preamble(32)
-SHAPER = PulseShaper()
+N_TRIALS = 6
+SNR_DB = 10.0
 
 
-def run(n_trials=6, snr_db=10.0):
-    config = StreamConfig(preamble=PREAMBLE, shaper=SHAPER,
+def correction_trial(ctx):
+    """Decode one pair with the correction loop on and off."""
+    preamble = cached_preamble(32)
+    shaper = cached_shaper()
+    config = StreamConfig(preamble=preamble, shaper=shaper,
                           noise_power=1.0)
-    stats = {True: {"ber": [], "residual": []},
-             False: {"ber": [], "residual": []}}
-    for seed in range(n_trials):
-        rng = make_rng(4100 + seed)
-        captures, frames, specs, placements = hidden_pair_scenario(
-            rng, PREAMBLE, SHAPER, snr_db=snr_db, payload_bits=300,
-            phase_noise=2e-3)
-        schedule = greedy_schedule(
-            [Placement(p.packet, p.collision, p.start,
-                       specs[p.packet].n_symbols, SHAPER.sps)
-             for p in placements], margin_symbols=1.0)
-        for measure in (True, False):
-            engine = ZigZagEngine(
-                config, [c.samples for c in captures], specs, placements,
-                measure_correction=measure)
-            out = engine.run(schedule)
-            for name, frame in frames.items():
-                bits = BPSK.demodulate(out[name].decisions[32:])
-                from repro.phy.frame import scramble_bits
-                bits = scramble_bits(bits)
-                stats[measure]["ber"].append(float(np.mean(
-                    bits[:frame.body_bits.size] != frame.body_bits)))
-            stats[measure]["residual"].append(
-                float(np.mean([engine.residual_power(c)
-                               for c in range(2)])))
-    return {k: {m: float(np.mean(v)) for m, v in d.items()}
-            for k, d in stats.items()}
+    captures, frames, specs, placements = hidden_pair_scenario(
+        ctx.rng, preamble, shaper, snr_db=SNR_DB, payload_bits=300,
+        phase_noise=2e-3)
+    schedule = greedy_schedule(
+        [Placement(p.packet, p.collision, p.start,
+                   specs[p.packet].n_symbols, shaper.sps)
+         for p in placements], margin_symbols=1.0)
+    metrics = {}
+    for measure, tag in ((True, "on"), (False, "off")):
+        engine = ZigZagEngine(
+            config, [c.samples for c in captures], specs, placements,
+            measure_correction=measure)
+        out = engine.run(schedule)
+        bers = []
+        for name, frame in frames.items():
+            bits = scramble_bits(BPSK.demodulate(out[name].decisions[32:]))
+            bers.append(float(np.mean(
+                bits[:frame.body_bits.size] != frame.body_bits)))
+        metrics[f"ber_{tag}"] = float(np.mean(bers))
+        metrics[f"residual_{tag}"] = float(np.mean(
+            [engine.residual_power(c) for c in range(2)]))
+    return metrics
+
+
+def run():
+    trials = MonteCarloRunner().map(correction_trial, N_TRIALS, seed=4100)
+    return {
+        measure: {
+            "ber": float(np.mean([t[f"ber_{tag}"] for t in trials])),
+            "residual": float(np.mean(
+                [t[f"residual_{tag}"] for t in trials])),
+        }
+        for measure, tag in ((True, "on"), (False, "off"))
+    }
 
 
 def test_ablation_correction_loop(benchmark, record_table):

@@ -4,23 +4,29 @@ Regenerates the capacity-region argument: at every SNR, the rate pair
 (R, R) with R the best single-user rate lies *outside* the two-user MAC
 region, while ZigZag's effective rate pair (R/2, R/2) per collision slot
 lies inside.
+
+Ported to the Monte-Carlo runner: the (deterministic) SNR grid is run
+through ``map`` with one value per grid point.
 """
 
 import numpy as np
 
 from repro.analysis.capacity import CapacityRegion, rate_pair_for_equal_rates
+from repro.runner import MonteCarloRunner
+
+
+def capacity_point(ctx, snr_db):
+    """One SNR grid point of the capacity-region argument."""
+    snr = 10.0 ** (snr_db / 10.0)
+    region = CapacityRegion(snr, snr)
+    rate, full_inside = rate_pair_for_equal_rates(snr)
+    half_inside = region.contains(rate / 2, rate / 2)
+    return (snr_db, rate, region.sum_capacity, full_inside, half_inside)
 
 
 def sweep(snrs_db):
-    rows = []
-    for snr_db in snrs_db:
-        snr = 10.0 ** (snr_db / 10.0)
-        region = CapacityRegion(snr, snr)
-        rate, full_inside = rate_pair_for_equal_rates(snr)
-        half_inside = region.contains(rate / 2, rate / 2)
-        rows.append((snr_db, rate, region.sum_capacity, full_inside,
-                     half_inside))
-    return rows
+    return MonteCarloRunner().map(capacity_point,
+                                  values=[float(s) for s in snrs_db])
 
 
 def test_fig1_3_capacity_region(benchmark, record_table):

@@ -4,6 +4,10 @@ Reproduces the figure's experiment: a collision of two packets; the
 compensated preamble correlation is swept across the received signal and
 must spike exactly at the second packet's start — and nowhere comparable
 elsewhere.
+
+Ported to the Monte-Carlo runner: the trace is one ``map`` trial with
+runner-derived seeding and the cached preamble/shaper/synchronizer
+reference signals.
 """
 
 import numpy as np
@@ -11,17 +15,16 @@ import numpy as np
 from repro.phy.channel import ChannelParams
 from repro.phy.frame import Frame
 from repro.phy.medium import Transmission, synthesize
-from repro.phy.preamble import default_preamble
-from repro.phy.pulse import PulseShaper
-from repro.phy.sync import Synchronizer
+from repro.runner import MonteCarloRunner
+from repro.runner.cache import cached_preamble, cached_shaper, cached_synchronizer
 from repro.utils.bits import random_bits
-from repro.utils.rng import make_rng
 
 
-def correlation_trace(offset=300, snr_db=12.0, seed=3):
-    rng = make_rng(seed)
-    preamble = default_preamble(32)
-    shaper = PulseShaper()
+def correlation_trace(ctx, offset=300, snr_db=12.0):
+    """Build one two-packet collision and sweep the correlation over it."""
+    rng = ctx.rng
+    preamble = cached_preamble(32)
+    shaper = cached_shaper()
     amp = np.sqrt(10 ** (snr_db / 10))
     frames = [Frame.make(random_bits(400, rng), src=i + 1,
                          preamble=preamble) for i in range(2)]
@@ -33,15 +36,19 @@ def correlation_trace(offset=300, snr_db=12.0, seed=3):
                       sampling_offset=rng.uniform(0, 1)),
         (0, offset)[i], "ab"[i]) for i in range(2)]
     capture = synthesize(txs, 1.0, rng, leading=8, tail=30)
-    sync = Synchronizer(preamble, shaper)
+    sync = cached_synchronizer(32, threshold=0.6)
     scores = sync.correlation_scores(capture.samples, coarse_freq=freqs[1])
     alice_start = capture.transmissions[0].symbol0 - shaper.delay
     bob_start = capture.transmissions[1].symbol0 - shaper.delay
     return scores, alice_start, bob_start
 
 
+def run():
+    return MonteCarloRunner().map(correlation_trace, 1, seed=3)[0]
+
+
 def test_fig4_2_correlation_spike(benchmark, record_table):
-    scores, alice_start, bob_start = benchmark(correlation_trace)
+    scores, alice_start, bob_start = benchmark(run)
     # The figure's claim is about the spike in the *middle* of the
     # reception: exclude Alice's own (partially-compensated) preamble.
     mask = np.ones(scores.size, bool)

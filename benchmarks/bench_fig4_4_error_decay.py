@@ -5,28 +5,40 @@ makes the AP *add* the interferer's vector instead of cancelling it; the
 next symbol flips only if the two independent uniform-phase vectors land
 within the fatal 60-degree arc (probability 1/6). We measure the empirical
 per-hop propagation probability and the error-burst length distribution.
+
+Ported to the Monte-Carlo runner: the 200k-sample simulation is split
+into 4 independent 50k-sample trials fanned out by ``map`` and pooled.
 """
 
 import numpy as np
 
-from repro.analysis.theory import (
-    error_propagation_probability,
-    expected_error_run_length,
-)
+from repro.analysis.theory import error_propagation_probability
+from repro.runner import MonteCarloRunner
+
+N_TRIALS = 4
+SAMPLES_PER_TRIAL = 50_000
 
 
-def simulate_error_bursts(n_trials=200_000, seed=0):
-    rng = np.random.default_rng(seed)
+def decay_trial(ctx):
+    """One 50k-sample slice of the worst-case propagation model."""
+    rng = ctx.rng
     # Worst case: equal amplitudes. Error propagates when the angle
     # between y_B and y_A falls inside the 60-degree arc around opposition
     # (paper Fig 4-4 geometry): |B + 2A| projected wrong.
-    angle_a = rng.uniform(0, 2 * np.pi, n_trials)
-    b = rng.choice([-1.0, 1.0], n_trials)
+    angle_a = rng.uniform(0, 2 * np.pi, SAMPLES_PER_TRIAL)
+    b = rng.choice([-1.0, 1.0], SAMPLES_PER_TRIAL)
     estimate = b + 2.0 * np.cos(angle_a)  # real part decides BPSK
     propagated = np.sign(estimate) != np.sign(b)
     p_hop = float(np.mean(propagated))
     # Burst lengths under geometric decay with the measured p.
-    lengths = rng.geometric(1.0 - p_hop, size=50_000)
+    lengths = rng.geometric(1.0 - p_hop, size=12_500)
+    return {"p_hop": p_hop, "lengths": lengths}
+
+
+def simulate_error_bursts():
+    trials = MonteCarloRunner().map(decay_trial, N_TRIALS, seed=0)
+    p_hop = float(np.mean([t["p_hop"] for t in trials]))
+    lengths = np.concatenate([t["lengths"] for t in trials])
     return p_hop, lengths
 
 

@@ -5,54 +5,35 @@ senders collide; each round every sender re-jitters; after n collisions of
 the same n packets the greedy chunk scheduler either finds a complete
 decode order or fails. Panel (a) fixed congestion windows cw ∈ {8,16,32};
 panel (b) exponential backoff (CWmin 31, CWmax 1023).
+
+Ported to the Monte-Carlo runner: each cell is 150 trials of the
+``schedule_failure`` scenario; the failure probability is the run-level
+mean of the per-trial ``failed`` metric.
 """
 
-import numpy as np
-import pytest
+from repro.runner import MonteCarloRunner, ScenarioSpec
+from repro.runner.spec import BackoffSpec
 
-from repro.errors import ScheduleError
-from repro.mac.backoff import ExponentialBackoff, FixedWindowBackoff
-from repro.mac.hidden import HiddenScenario
-from repro.zigzag.schedule import Placement, greedy_schedule
+N_TRIALS = 150
 
 
-def failure_probability(n_senders, picker, n_trials=150, seed=0,
-                        n_symbols=600, slot_samples=20):
-    rng = np.random.default_rng(seed + n_senders)
-    scenario = HiddenScenario(n_senders=n_senders,
-                              slot_samples=slot_samples, picker=picker)
-    failures = 0
-    names = [f"s{i}" for i in range(n_senders)]
-    for _ in range(n_trials):
-        rounds = scenario.collision_offsets(rng, n_senders)
-        placements = [
-            # Each transmission lands with an independent fractional
-            # sampling phase, as on real hardware — exact sample ties
-            # between packets do not occur.
-            Placement(name, c, float(off) + rng.uniform(0, 1),
-                      n_symbols, 2)
-            for c, offsets in enumerate(rounds)
-            for name, off in zip(names, offsets)
-        ]
-        try:
-            # The 1-symbol margin matches the physical engine: packets
-            # separated by less than a symbol (same backoff slot, only
-            # fractional timing apart) are genuinely undecodable.
-            greedy_schedule(placements, margin_symbols=1.0)
-        except ScheduleError:
-            failures += 1
-    return failures / n_trials
+def _probability(runner, backoff, n_senders, seed):
+    spec = ScenarioSpec(kind="schedule_failure", backoff=backoff,
+                        n_trials=N_TRIALS, seed=seed,
+                        params={"n_senders": n_senders, "n_symbols": 600})
+    return runner.run(spec).mean("failed")
 
 
 def sweep():
+    runner = MonteCarloRunner()
     table = {}
     for cw in (8, 16, 32):
-        picker = FixedWindowBackoff(cw)
+        backoff = BackoffSpec(kind="fixed", cw=cw)
         table[f"cw={cw}"] = {
-            n: failure_probability(n, picker) for n in range(2, 8)
+            n: _probability(runner, backoff, n, seed=n) for n in range(2, 8)
         }
-    expo = ExponentialBackoff(cw_min=31, cw_max=1023)
-    table["expo"] = {n: failure_probability(n, expo)
+    expo = BackoffSpec(kind="exponential", cw_min=31, cw_max=1023)
+    table["expo"] = {n: _probability(runner, expo, n, seed=n)
                      for n in range(2, 8)}
     return table
 

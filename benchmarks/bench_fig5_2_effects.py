@@ -1,5 +1,9 @@
 """Fig 5-2: (a) bit errors accumulate along the packet without frequency
-tracking; (b) ISI makes a received bit depend on its neighbours."""
+tracking; (b) ISI makes a received bit depend on its neighbours.
+
+Ported to the Monte-Carlo runner: both panels run as ``map`` trials with
+runner-derived seeding and cached preamble/shaper reference signals.
+"""
 
 import numpy as np
 
@@ -8,27 +12,26 @@ from repro.phy.constellation import BPSK
 from repro.phy.frame import Frame
 from repro.phy.isi import default_isi_taps
 from repro.phy.medium import Transmission, synthesize
-from repro.phy.preamble import default_preamble
-from repro.phy.pulse import MatchedSampler, PulseShaper
+from repro.phy.pulse import MatchedSampler
 from repro.receiver.decoder import StandardDecoder
+from repro.runner import MonteCarloRunner
+from repro.runner.cache import cached_preamble, cached_shaper
 from repro.utils.bits import random_bits
-from repro.utils.rng import make_rng
-
-PREAMBLE = default_preamble(32)
-SHAPER = PulseShaper()
 
 
-def error_profile_without_tracking(payload_bits=2400, seed=4):
+def error_profile_without_tracking(ctx, payload_bits=2400):
     """(a): decode a long packet with tracking disabled and a residual
     frequency error; return per-quarter error rates."""
-    rng = make_rng(seed)
+    rng = ctx.rng
+    preamble = cached_preamble(32)
+    shaper = cached_shaper()
     frame = Frame.make(random_bits(payload_bits, rng), src=1,
-                       preamble=PREAMBLE)
+                       preamble=preamble)
     freq = 2e-3
     params = ChannelParams(gain=6.0, freq_offset=freq)
-    tx = Transmission.from_symbols(frame.symbols, SHAPER, params, 0, "a")
+    tx = Transmission.from_symbols(frame.symbols, shaper, params, 0, "a")
     cap = synthesize([tx], 1.0, rng, leading=8, tail=30)
-    decoder = StandardDecoder(PREAMBLE, SHAPER, noise_power=1.0,
+    decoder = StandardDecoder(preamble, shaper, noise_power=1.0,
                               coarse_freq=freq + 8e-5, track_phase=False)
     result = decoder.decode(cap.samples)
     bits = result.bits if result.bits.size else np.zeros(0, np.uint8)
@@ -39,16 +42,17 @@ def error_profile_without_tracking(payload_bits=2400, seed=4):
     return quarters
 
 
-def isi_prone_symbols(seed=5, n_symbols=4000):
+def isi_prone_symbols(ctx, n_symbols=4000):
     """(b): mean received value of a '1' symbol conditioned on the
     previous symbol, through an ISI channel."""
-    rng = make_rng(seed)
+    rng = ctx.rng
+    shaper = cached_shaper()
     bits = random_bits(n_symbols, rng)
     symbols = BPSK.modulate(bits)
     params = ChannelParams(gain=1.0,
                            isi_taps=tuple(default_isi_taps(0.5)))
-    wave = Channel(params, rng).apply(SHAPER.shape(symbols))
-    received = MatchedSampler(SHAPER).sample(wave, SHAPER.delay,
+    wave = Channel(params, rng).apply(shaper.shape(symbols))
+    received = MatchedSampler(shaper).sample(wave, shaper.delay,
                                              n_symbols).real
     prev = np.roll(bits, 1)[1:]
     current = bits[1:]
@@ -61,7 +65,10 @@ def isi_prone_symbols(seed=5, n_symbols=4000):
 
 
 def run_both():
-    return error_profile_without_tracking(), isi_prone_symbols()
+    runner = MonteCarloRunner()
+    quarters = runner.map(error_profile_without_tracking, 1, seed=4)[0]
+    isi = runner.map(isi_prone_symbols, 1, seed=5)[0]
+    return quarters, isi
 
 
 def test_fig5_2_effects(benchmark, record_table):

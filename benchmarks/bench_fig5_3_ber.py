@@ -4,83 +4,32 @@ The paper's headline micro-result: ZigZag decoding keeps the BER close to
 sending the packets in separate time slots, and the forward+backward
 combination *beats* interference-free transmission (average 1.4x lower in
 the paper) because every symbol is received twice.
+
+Ported to the Monte-Carlo runner: each point is the ``zigzag_ber``
+scenario swept over ``params.snr_db`` (six trials per point, deterministic
+SeedSequence seeding). Equivalent CLI::
+
+    python -m repro sweep examples/scenarios/pair_collision.toml \
+        --param params.snr_db=6:12:2
 """
 
-import sys
+from repro.runner import MonteCarloRunner, ScenarioSpec
 
 import numpy as np
 
-sys.path.insert(0, "tests")
+SNRS = (6, 8, 10, 12)
 
-from repro.phy.channel import ChannelParams
-from repro.phy.frame import Frame
-from repro.phy.medium import Transmission, synthesize
-from repro.phy.preamble import default_preamble
-from repro.phy.pulse import PulseShaper
-from repro.receiver.decoder import StandardDecoder
-from repro.receiver.frontend import StreamConfig
-from repro.utils.bits import random_bits
-from repro.utils.rng import make_rng
-from repro.zigzag.decoder import ZigZagPairDecoder
-
-from helpers import hidden_pair_scenario
-
-PREAMBLE = default_preamble(32)
-SHAPER = PulseShaper()
-
-
-def ber_point(snr_db, n_trials=6, payload=400):
-    config = StreamConfig(preamble=PREAMBLE, shaper=SHAPER,
-                          noise_power=1.0)
-    fwd, both, free = [], [], []
-    for seed in range(n_trials):
-        rng = make_rng(3000 + seed)
-        captures, frames, specs, placements = hidden_pair_scenario(
-            rng, PREAMBLE, SHAPER, snr_db=snr_db, payload_bits=payload)
-        for use_backward, bucket in ((False, fwd), (True, both)):
-            outcome = ZigZagPairDecoder(
-                config, use_backward=use_backward).decode(
-                [c.samples for c in captures], specs, placements)
-            bucket += [outcome.results[n].ber_against(
-                frames[n].body_bits) for n in frames]
-        # Collision-Free Scheduler: same frames, separate time slots.
-        # BER is measured over the full recovered bit stream with known
-        # framing (the paper's BER metric), not packet accept/reject.
-        from repro.phy.sync import Synchronizer
-        from repro.receiver.frontend import SymbolStreamDecoder
-        from repro.zigzag.decoder import extract_bits
-        from repro.zigzag.engine import PacketSpec
-        from repro.utils.bits import bit_error_rate
-
-        sync = Synchronizer(PREAMBLE, SHAPER)
-        for name, frame in frames.items():
-            params = ChannelParams(
-                gain=np.sqrt(10 ** (snr_db / 10))
-                * np.exp(1j * rng.uniform(0, 2 * np.pi)),
-                freq_offset=float(rng.uniform(-4e-3, 4e-3)),
-                sampling_offset=float(rng.uniform(0, 1)),
-                phase_noise_std=1e-3)
-            cap = synthesize([Transmission.from_symbols(
-                frame.symbols, SHAPER, params, 0, "x")], 1.0, rng,
-                leading=8, tail=30)
-            t = cap.transmissions[0]
-            est = sync.acquire(
-                cap.samples, t.symbol0,
-                coarse_freq=params.freq_offset + rng.normal(0, 1.5e-5),
-                noise_power=1.0)
-            stream = SymbolStreamDecoder(
-                config, est, t.symbol0 + est.sampling_offset)
-            chunk = stream.decode_chunk(cap.samples, frame.n_symbols)
-            bits, _, _ = extract_bits(
-                chunk.soft, PacketSpec(name, frame.n_symbols),
-                len(PREAMBLE))
-            free.append(bit_error_rate(
-                frame.body_bits, bits[:frame.body_bits.size]))
-    return np.mean(fwd), np.mean(both), np.mean(free)
+SPEC = ScenarioSpec(kind="zigzag_ber", n_trials=6, seed=3000,
+                    payload_bits=400)
 
 
 def sweep():
-    return {snr: ber_point(snr) for snr in (6, 8, 10, 12)}
+    result = MonteCarloRunner().sweep(SPEC, "params.snr_db",
+                                      [float(s) for s in SNRS])
+    return {snr: (result.result_at(float(snr)).mean("ber_fwd"),
+                  result.result_at(float(snr)).mean("ber_both"),
+                  result.result_at(float(snr)).mean("ber_free"))
+            for snr in SNRS}
 
 
 def test_fig5_3_ber_vs_snr(benchmark, record_table):

@@ -6,33 +6,36 @@ SINR; the Collision-Free Scheduler stays flat at 0.5/0.5; ZigZag matches
 the scheduler at SINR 0, exceeds total 1.0 in the SIC window (decoding
 both packets from a *single* collision), and degrades Bob only at extreme
 SINR where subtraction residuals swamp him.
+
+Ported to the Monte-Carlo runner: one ``capture`` scenario per design,
+swept over ``params.sinr_db``. Equivalent CLI::
+
+    python -m repro sweep examples/scenarios/capture_asymmetry.toml \
+        --param params.sinr_db=0:16:4
 """
 
-import numpy as np
+from repro.runner import MonteCarloRunner, ScenarioSpec
+from repro.testbed.experiment import Design
 
-from repro.testbed.experiment import (
-    Design,
-    PairExperimentConfig,
-    run_capture_sweep_point,
-)
-
-CONFIG = PairExperimentConfig(payload_bits=240, n_packets=6, max_rounds=4)
 SINRS = (0, 4, 8, 12, 16)
+
+SPEC = ScenarioSpec(kind="capture", n_trials=3, seed=0,
+                    payload_bits=240, n_packets=6, max_rounds=4,
+                    params={"snr_b_db": 9.0})
 
 
 def sweep():
+    runner = MonteCarloRunner()
     table = {}
     for design in Design:
-        rows = {}
-        for sinr in SINRS:
-            points = [run_capture_sweep_point(
-                float(sinr), design, snr_b_db=9.0, config=CONFIG,
-                seed=seed) for seed in range(3)]
-            rows[sinr] = {
-                key: float(np.mean([p[key] for p in points]))
-                for key in ("A", "B", "total")
-            }
-        table[design.value] = rows
+        spec = SPEC.with_override("design", design.value)
+        points = runner.sweep(spec, "params.sinr_db",
+                              [float(s) for s in SINRS])
+        table[design.value] = {
+            sinr: {key: points.result_at(float(sinr)).mean(key)
+                   for key in ("A", "B", "total")}
+            for sinr in SINRS
+        }
     return table
 
 

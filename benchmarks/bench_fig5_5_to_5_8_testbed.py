@@ -9,44 +9,39 @@ each pair runs under Current 802.11 and ZigZag:
 - Fig 5-6: CDF of per-flow loss rate (paper: 18.9% -> 0.2%);
 - Fig 5-7: per-flow throughput scatter (ZigZag helps, never hurts);
 - Fig 5-8: loss CDF over hidden/partial pairs only (82.3% -> 0.7%).
+
+Ported to the Monte-Carlo runner: the campaign is N_PAIRS trials of the
+``testbed_pair`` scenario (each trial samples one pair and runs both
+designs); per-flow detail rides in each trial's ``extra`` payload.
 """
 
 import numpy as np
 import pytest
 
-from repro.testbed.experiment import Design, PairExperiment, PairExperimentConfig
-from repro.testbed.topology import SensingClass, default_testbed
+from repro.runner import MonteCarloRunner, ScenarioSpec
+from repro.testbed.topology import SensingClass
 from repro.utils.stats import empirical_cdf
 
-CONFIG = PairExperimentConfig(payload_bits=240, n_packets=6, max_rounds=4)
 N_PAIRS = 12
 
+SPEC = ScenarioSpec(kind="testbed_pair", n_trials=N_PAIRS, seed=13,
+                    payload_bits=240, n_packets=6, max_rounds=4,
+                    params={"testbed_seed": 7})
 
-def run_campaign(seed=11):
-    rng = np.random.default_rng(seed)
-    testbed = default_testbed(seed=7)
+
+def run_campaign():
+    result = MonteCarloRunner().run(SPEC)
     records = []
-    for _ in range(N_PAIRS):
-        a, b, ap = testbed.sample_pair(rng)
-        snr_a = float(testbed.snr_db[ap, a])
-        snr_b = float(testbed.snr_db[ap, b])
-        sense = min(testbed.sense_probability(a, b),
-                    testbed.sense_probability(b, a))
-        sensing_class = testbed.sensing_class(a, b)
-        entry = {"pair": (a, b, ap), "class": sensing_class}
-        for design in (Design.CURRENT_80211, Design.ZIGZAG):
-            experiment = PairExperiment(
-                snr_a, snr_b, sense_probability=sense, config=CONFIG,
-                rng=np.random.default_rng(int(rng.integers(1 << 31))))
-            flows, airtime = experiment.run(design)
-            entry[design.value] = {
-                "throughput": sum(s.delivered for s in flows.values())
-                / max(airtime, 1e-9),
-                "flow_throughputs": {
-                    n: s.delivered / max(airtime, 1e-9)
-                    for n, s in flows.items()},
-                "loss": [s.loss_rate for s in flows.values()],
-            }
+    for trial in result.trials:
+        entry = {"pair": trial.extra["pair"], "class": trial.extra["class"]}
+        entry["802.11"] = {
+            "throughput": trial.metrics["throughput_80211"],
+            **trial.extra["80211"],
+        }
+        entry["zigzag"] = {
+            "throughput": trial.metrics["throughput_zigzag"],
+            **trial.extra["zigzag"],
+        }
         records.append(entry)
     return records
 
@@ -106,7 +101,7 @@ def test_fig5_7_scatter_never_hurts(benchmark, record_table, campaign):
 def test_fig5_8_hidden_terminal_loss(benchmark, record_table, campaign):
     records = benchmark.pedantic(lambda: campaign, rounds=1, iterations=1)
     hidden = [r for r in records
-              if r["class"] is not SensingClass.PERFECT]
+              if r["class"] != SensingClass.PERFECT.value]
     if not hidden:
         pytest.skip("campaign sampled no hidden/partial pairs")
     losses = {d: [loss for r in hidden for loss in r[d]["loss"]]

@@ -4,19 +4,26 @@ Each packet round produces three collisions of the same three packets
 (successive retransmissions with fresh jitter); the general N-collision
 engine decodes them. Paper shape: all three senders get a fair throughput
 near one third of the medium rate.
+
+Ported to the Monte-Carlo runner (``three_senders`` scenario). Equivalent
+CLI::
+
+    python -m repro run examples/scenarios/three_hidden.toml
 """
 
 import numpy as np
 
-from repro.testbed.experiment import run_three_sender_experiment
+from repro.runner import MonteCarloRunner, ScenarioSpec
+
+SPEC = ScenarioSpec(kind="three_senders", n_trials=3, seed=0,
+                    payload_bits=240, n_packets=5,
+                    params={"snr_db": 13.0})
 
 
-def sweep(n_runs=3):
-    runs = [run_three_sender_experiment(
-        snr_db=13.0, n_packets=5, payload_bits=240, seed=seed)
-        for seed in range(n_runs)]
-    names = sorted(runs[0])
-    return {n: float(np.mean([r[n] for r in runs])) for n in names}
+def sweep():
+    result = MonteCarloRunner().run(SPEC)
+    return {name: result.mean(f"throughput_{name}")
+            for name in ("A", "B", "C")}
 
 
 def test_fig5_9_three_hidden_terminals(benchmark, record_table):

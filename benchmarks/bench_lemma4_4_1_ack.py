@@ -3,9 +3,10 @@
 Evaluates the paper's analytic bound (exactly 0.9375 for 802.11g) and the
 exact two-sided Monte-Carlo probability, plus the AckPlanner timeline for
 a typical decoded pair (Fig 4-5).
-"""
 
-import numpy as np
+Ported to the Monte-Carlo runner: one ``map`` value per 802.11 timing
+profile.
+"""
 
 from repro.mac.ack import (
     AckPlanner,
@@ -13,13 +14,19 @@ from repro.mac.ack import (
     ack_offset_probability,
 )
 from repro.mac.timing import TIMING_80211A, TIMING_80211G
+from repro.runner import MonteCarloRunner
+
+
+def timing_point(ctx, name):
+    """Analytic bound + Monte-Carlo probability for one timing profile."""
+    timing = {"g": TIMING_80211G, "a": TIMING_80211A}[name]
+    return (ack_offset_lower_bound(timing),
+            ack_offset_probability(timing, n_trials=400_000))
 
 
 def evaluate():
-    bound_g = ack_offset_lower_bound(TIMING_80211G)
-    mc_g = ack_offset_probability(TIMING_80211G, n_trials=400_000)
-    bound_a = ack_offset_lower_bound(TIMING_80211A)
-    mc_a = ack_offset_probability(TIMING_80211A, n_trials=400_000)
+    (bound_g, mc_g), (bound_a, mc_a) = MonteCarloRunner().map(
+        timing_point, values=["g", "a"])
     plan = AckPlanner(TIMING_80211G).plan(
         offset_us=120.0, first_duration_us=24_000.0,
         second_duration_us=24_000.0)

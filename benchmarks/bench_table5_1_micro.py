@@ -4,7 +4,13 @@ Three rows, as in the paper:
 - collision detector false positives / false negatives (β = 0.42);
 - decode success with/without frequency & phase tracking, by packet size;
 - decode success with/without the ISI (equalizer) filter, by SNR.
+
+Ported to the Monte-Carlo runner: each cell's trial loop goes through
+``MonteCarloRunner.map`` (module-level trial functions + ``partial``),
+with the detector/decoder reference objects cached across trials.
 """
+
+import functools
 
 import numpy as np
 
@@ -12,15 +18,12 @@ from repro.phy.channel import ChannelParams
 from repro.phy.frame import Frame
 from repro.phy.isi import default_isi_taps
 from repro.phy.medium import Transmission, synthesize
-from repro.phy.preamble import default_preamble
-from repro.phy.pulse import PulseShaper
 from repro.receiver.decoder import StandardDecoder
+from repro.runner import MonteCarloRunner
+from repro.runner.cache import cached_detector, cached_preamble, cached_shaper
 from repro.utils.bits import random_bits
-from repro.utils.rng import make_rng
-from repro.zigzag.detect import CollisionDetector
 
-PREAMBLE = default_preamble(32)
-SHAPER = PulseShaper()
+BETAS = (0.42, 0.5, 0.55, 0.6)
 
 
 def _params(rng, snr_db, freq, isi=0.0):
@@ -33,8 +36,39 @@ def _params(rng, snr_db, freq, isi=0.0):
         isi_taps=tuple(default_isi_taps(isi)) if isi else None)
 
 
-def detector_rates(n_each=40, betas=(0.42, 0.5, 0.55, 0.6), seed=0):
-    """Row 1: FP/FN trade-off across β, SNR 6..20 dB as in §5.3(a).
+def detector_trial(ctx):
+    """Row 1, one trial: FP/FN flags for every β on one clean+collision
+    pair drawn at a random SNR in 6..20 dB (§5.3a)."""
+    rng = ctx.rng
+    preamble = cached_preamble(32)
+    shaper = cached_shaper()
+    snr = rng.uniform(6, 20)
+    freqs = [float(rng.uniform(-4e-3, 4e-3)) for _ in range(2)]
+    f1 = Frame.make(random_bits(300, rng), src=1, preamble=preamble)
+    tx = Transmission.from_symbols(f1.symbols, shaper,
+                                   _params(rng, snr, freqs[0]), 0, "a")
+    clean = synthesize([tx], 1.0, rng, leading=8, tail=30)
+    f2 = Frame.make(random_bits(300, rng), src=2, preamble=preamble)
+    offset = int(rng.integers(4, 14)) * 20
+    collision = synthesize(
+        [Transmission.from_symbols(f1.symbols, shaper,
+                                   _params(rng, snr, freqs[0]), 0, "a"),
+         Transmission.from_symbols(f2.symbols, shaper,
+                                   _params(rng, snr, freqs[1]),
+                                   offset, "b")],
+        1.0, rng, leading=8, tail=30)
+    metrics = {}
+    for beta in BETAS:
+        det = cached_detector(32, beta=beta)
+        metrics[f"fp_{beta}"] = float(
+            det.inspect(clean.samples, freqs).is_collision)
+        metrics[f"fn_{beta}"] = float(
+            not det.inspect(collision.samples, freqs).is_collision)
+    return metrics
+
+
+def detector_rates(runner, n_each=40, seed=0):
+    """Row 1: FP/FN trade-off across β, as in §5.3(a).
 
     The paper: "Higher values eliminate false positives but make ZigZag
     miss some collisions, whereas lower values trigger collision-detection
@@ -42,87 +76,64 @@ def detector_rates(n_each=40, betas=(0.42, 0.5, 0.55, 0.6), seed=0):
     32-symbol preamble the discrimination is fundamentally extreme-value
     limited, so our knee sits at higher FP than the paper's testbed
     (which is harmless: FPs only cost compute, §5.3a)."""
-    rng = make_rng(seed)
-    detectors = {b: CollisionDetector(PREAMBLE, SHAPER, beta=b)
-                 for b in betas}
-    fp = {b: 0 for b in betas}
-    fn = {b: 0 for b in betas}
-    for i in range(n_each):
-        snr = rng.uniform(6, 20)
-        freqs = [float(rng.uniform(-4e-3, 4e-3)) for _ in range(2)]
-        f1 = Frame.make(random_bits(300, rng), src=1, preamble=PREAMBLE)
-        tx = Transmission.from_symbols(f1.symbols, SHAPER,
-                                       _params(rng, snr, freqs[0]), 0, "a")
-        clean = synthesize([tx], 1.0, rng, leading=8, tail=30)
-        f2 = Frame.make(random_bits(300, rng), src=2, preamble=PREAMBLE)
-        offset = int(rng.integers(4, 14)) * 20
-        collision = synthesize(
-            [Transmission.from_symbols(f1.symbols, SHAPER,
-                                       _params(rng, snr, freqs[0]), 0, "a"),
-             Transmission.from_symbols(f2.symbols, SHAPER,
-                                       _params(rng, snr, freqs[1]),
-                                       offset, "b")],
-            1.0, rng, leading=8, tail=30)
-        for b, det in detectors.items():
-            if det.inspect(clean.samples, freqs).is_collision:
-                fp[b] += 1
-            if not det.inspect(collision.samples, freqs).is_collision:
-                fn[b] += 1
-    return {b: (fp[b] / n_each, fn[b] / n_each) for b in betas}
+    trials = runner.map(detector_trial, n_each, seed=seed)
+    return {beta: (float(np.mean([t[f"fp_{beta}"] for t in trials])),
+                   float(np.mean([t[f"fn_{beta}"] for t in trials])))
+            for beta in BETAS}
 
 
-def tracking_success(payload_bits, track, n_trials=20, seed=1):
-    """Row 2: long packets fail without phase tracking (Fig 5-2a)."""
-    rng = make_rng(seed)
-    ok = 0
-    for _ in range(n_trials):
-        frame = Frame.make(random_bits(payload_bits, rng), src=1,
-                           preamble=PREAMBLE)
-        freq = float(rng.uniform(-4e-3, 4e-3))
-        tx = Transmission.from_symbols(frame.symbols, SHAPER,
-                                       _params(rng, 14.0, freq), 0, "a")
-        cap = synthesize([tx], 1.0, rng, leading=8, tail=30)
-        # The decoder works from the (slightly stale) client-table coarse
-        # estimate; tracking must absorb the residual.
-        decoder = StandardDecoder(PREAMBLE, SHAPER, noise_power=1.0,
-                                  coarse_freq=freq + 1.2e-4,
-                                  track_phase=track)
-        if decoder.decode(cap.samples).ber_against(
-                frame.body_bits) < 1e-3:
-            ok += 1
-    return ok / n_trials
+def tracking_trial(ctx, payload_bits=400, track=True):
+    """Row 2, one trial: does a long packet survive without tracking?"""
+    rng = ctx.rng
+    preamble = cached_preamble(32)
+    shaper = cached_shaper()
+    frame = Frame.make(random_bits(payload_bits, rng), src=1,
+                       preamble=preamble)
+    freq = float(rng.uniform(-4e-3, 4e-3))
+    tx = Transmission.from_symbols(frame.symbols, shaper,
+                                   _params(rng, 14.0, freq), 0, "a")
+    cap = synthesize([tx], 1.0, rng, leading=8, tail=30)
+    # The decoder works from the (slightly stale) client-table coarse
+    # estimate; tracking must absorb the residual.
+    decoder = StandardDecoder(preamble, shaper, noise_power=1.0,
+                              coarse_freq=freq + 1.2e-4,
+                              track_phase=track)
+    ok = decoder.decode(cap.samples).ber_against(frame.body_bits) < 1e-3
+    return float(ok)
 
 
-def isi_success(snr_db, use_equalizer, n_trials=20, seed=2):
-    """Row 3: the ISI filter matters at low SNR."""
-    rng = make_rng(seed)
-    ok = 0
-    for _ in range(n_trials):
-        frame = Frame.make(random_bits(400, rng), src=1,
-                           preamble=PREAMBLE)
-        freq = float(rng.uniform(-4e-3, 4e-3))
-        tx = Transmission.from_symbols(
-            frame.symbols, SHAPER,
-            _params(rng, snr_db, freq, isi=0.45), 0, "a")
-        cap = synthesize([tx], 1.0, rng, leading=8, tail=30)
-        decoder = StandardDecoder(PREAMBLE, SHAPER, noise_power=1.0,
-                                  coarse_freq=freq,
-                                  use_equalizer=use_equalizer)
-        if decoder.decode(cap.samples).ber_against(
-                frame.body_bits) < 1e-3:
-            ok += 1
-    return ok / n_trials
+def isi_trial(ctx, snr_db=10.0, use_equalizer=True):
+    """Row 3, one trial: does the ISI filter save a low-SNR packet?"""
+    rng = ctx.rng
+    preamble = cached_preamble(32)
+    shaper = cached_shaper()
+    frame = Frame.make(random_bits(400, rng), src=1, preamble=preamble)
+    freq = float(rng.uniform(-4e-3, 4e-3))
+    tx = Transmission.from_symbols(
+        frame.symbols, shaper, _params(rng, snr_db, freq, isi=0.45),
+        0, "a")
+    cap = synthesize([tx], 1.0, rng, leading=8, tail=30)
+    decoder = StandardDecoder(preamble, shaper, noise_power=1.0,
+                              coarse_freq=freq,
+                              use_equalizer=use_equalizer)
+    ok = decoder.decode(cap.samples).ber_against(frame.body_bits) < 1e-3
+    return float(ok)
 
 
 def run_table():
+    runner = MonteCarloRunner()
     rows = {
-        "detector": detector_rates(),
+        "detector": detector_rates(runner),
         "tracking": {
-            (size, track): tracking_success(size, track)
+            (size, track): float(np.mean(runner.map(
+                functools.partial(tracking_trial, payload_bits=size,
+                                  track=track), 20, seed=1)))
             for size in (400, 1200) for track in (True, False)
         },
         "isi": {
-            (snr, eq): isi_success(snr, eq)
+            (snr, eq): float(np.mean(runner.map(
+                functools.partial(isi_trial, snr_db=snr,
+                                  use_equalizer=eq), 20, seed=2)))
             for snr in (10.0, 16.0) for eq in (True, False)
         },
     }

@@ -1,107 +1,53 @@
 #!/usr/bin/env python3
-"""Quickstart: decode one hidden-terminal collision pair with ZigZag.
+"""Quickstart: decode hidden-terminal collisions with ZigZag, via the runner.
 
-Builds the paper's Fig 1-2 scenario from scratch — Alice and Bob, unable
-to sense each other, collide twice on the same packets with different
-offsets — and walks the full receiver pipeline: synchronize, acquire,
-schedule, zigzag-decode forward and backward, MRC-combine, CRC-check.
+Builds the paper's Fig 1-2 scenario declaratively — Alice and Bob,
+unable to sense each other, collide on every packet round — and runs it
+through the Monte-Carlo runner, which fans trials across processes with
+deterministic per-trial seeding and aggregates the per-flow statistics.
+Then decodes one literal collision pair with
+:func:`repro.quick_hidden_terminal_demo` to show the one-call API.
 
-Run:  python examples/quickstart.py
+Run:  PYTHONPATH=src python examples/quickstart.py
+
+Same scenario from the command line:
+
+    PYTHONPATH=src python -m repro run examples/scenarios/pair_collision.toml
 """
 
-import numpy as np
-
-from repro.phy.channel import ChannelParams
-from repro.phy.constellation import BPSK
-from repro.phy.frame import Frame
-from repro.phy.medium import Transmission, synthesize
-from repro.phy.preamble import default_preamble
-from repro.phy.pulse import PulseShaper
-from repro.phy.sync import Synchronizer
-from repro.receiver.frontend import StreamConfig
-from repro.utils.bits import random_bits
-from repro.utils.rng import make_rng
-from repro.zigzag.decoder import ZigZagPairDecoder
-from repro.zigzag.engine import PacketSpec, PlacementParams
+from repro import MonteCarloRunner, ScenarioSpec, SenderSpec
+from repro import quick_hidden_terminal_demo
 
 
 def main() -> None:
-    rng = make_rng(7)
-    preamble = default_preamble(32)
-    shaper = PulseShaper()          # 2 samples/symbol RRC, like the paper
-    snr_db = 11.0
-    amplitude = np.sqrt(10 ** (snr_db / 10))
+    # --- one declarative scenario, many seeded trials ------------------
+    spec = ScenarioSpec(
+        kind="pair",                 # two saturated senders to one AP
+        design="zigzag",             # vs "802.11" or "collision-free"
+        senders=(SenderSpec("alice", snr_db=11.0),
+                 SenderSpec("bob", snr_db=11.0)),
+        sense_probability=0.0,       # fully hidden: every round collides
+        payload_bits=400,
+        n_packets=4,
+        n_trials=4,
+        seed=7,
+    )
+    runner = MonteCarloRunner(n_workers=1)   # try n_workers=4 on a big box
+    result = runner.run(spec)
+    print("ZigZag AP on a fully-hidden pair "
+          f"({spec.n_trials} trials, seed {spec.seed}):\n")
+    print(result.format_table())
 
-    # --- Two senders, two packets --------------------------------------
-    frames = {
-        "alice": Frame.make(random_bits(400, rng), src=1, seq=10,
-                            preamble=preamble),
-        "bob": Frame.make(random_bits(400, rng), src=2, seq=77,
-                          preamble=preamble),
-    }
-    channels = {
-        name: ChannelParams(
-            gain=amplitude * np.exp(1j * rng.uniform(0, 2 * np.pi)),
-            freq_offset=float(rng.uniform(-4e-3, 4e-3)),
-            sampling_offset=float(rng.uniform(0, 1)),
-            phase_noise_std=1e-3)
-        for name in frames
-    }
+    # The same spec under current 802.11: collisions are fatal.
+    baseline = runner.run(spec.with_override("design", "802.11"))
+    print(f"\ntotal throughput: zigzag "
+          f"{result.mean('throughput_total'):.2f} vs 802.11 "
+          f"{baseline.mean('throughput_total'):.2f}")
 
-    # --- Two collisions with different 802.11 jitter offsets ------------
-    captures = []
-    for bob_offset in (180, 60):    # Δ1 != Δ2, thanks to random backoff
-        captures.append(synthesize(
-            [Transmission.from_symbols(frames["alice"].symbols, shaper,
-                                       channels["alice"], 0, "alice"),
-             Transmission.from_symbols(frames["bob"].symbols, shaper,
-                                       channels["bob"], bob_offset,
-                                       "bob")],
-            noise_power=1.0, rng=rng, leading=8, tail=40))
-    print("synthesized two collisions of the same packet pair "
-          f"({captures[0].samples.size} and {captures[1].samples.size} "
-          "samples)")
-
-    # --- Acquisition: where does each packet start, on what channel? ----
-    sync = Synchronizer(preamble, shaper, threshold=0.35)
-    placements = []
-    for ci, capture in enumerate(captures):
-        for t in capture.transmissions:
-            estimate = sync.acquire(
-                capture.samples, t.symbol0,
-                coarse_freq=channels[t.label].freq_offset,  # client table
-                noise_power=1.0)
-            placements.append(PlacementParams(
-                t.label, ci, t.symbol0 + estimate.sampling_offset,
-                estimate))
-            print(f"  capture {ci}, {t.label:5s}: start="
-                  f"{t.symbol0 + estimate.sampling_offset:8.2f}  "
-                  f"|H|={abs(estimate.gain):.2f}  "
-                  f"SNR~{estimate.snr_db:.1f} dB")
-
-    # --- ZigZag decode ---------------------------------------------------
-    specs = {name: PacketSpec(name, frames[name].n_symbols, BPSK)
-             for name in frames}
-    config = StreamConfig(preamble=preamble, shaper=shaper,
-                          noise_power=1.0)
-    outcome = ZigZagPairDecoder(config, use_backward=True).decode(
-        [c.samples for c in captures], specs, placements)
-
-    print(f"\nchunk schedule ({len(outcome.schedule)} steps):")
-    for step in outcome.schedule[:6]:
-        print(f"  decode {step.packet:5s} symbols [{step.i0:4d},"
-              f"{step.i1:4d}) from collision {step.collision}")
-    if len(outcome.schedule) > 6:
-        print(f"  ... {len(outcome.schedule) - 6} more steps")
-
-    print("\nresults:")
-    for name, frame in frames.items():
-        result = outcome.results[name]
-        ber = result.ber_against(frame.body_bits)
-        print(f"  {name:5s}: crc_ok={result.success}  BER={ber:.2e}  "
-              f"header={result.header}")
-    print("residual power per capture (noise floor = 1.0):",
-          [round(p, 2) for p in outcome.residual_powers])
+    # --- and one literal collision pair, decoded in one call -----------
+    print("\none Fig 1-2 collision pair, decoded directly:")
+    for name, row in quick_hidden_terminal_demo(seed=1).items():
+        print(f"  {name:<8} decoded={row['decoded']}  ber={row['ber']:.5f}")
 
 
 if __name__ == "__main__":

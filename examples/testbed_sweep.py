@@ -1,69 +1,50 @@
 #!/usr/bin/env python3
 """Mini testbed campaign: random sender pairs on the 14-node layout.
 
-A shrunken version of §5.6: sample sender pairs (hidden, partial, and
-perfectly-sensing), run each under Current 802.11 and ZigZag, and print
-per-pair throughput/loss plus the aggregate comparison (Figs 5-5 .. 5-8).
+A shrunken version of §5.6: each runner trial samples one sender pair
+from the 14-node testbed (hidden, partial, or perfectly-sensing) and
+runs it under Current 802.11 and ZigZag; the per-pair detail rides in
+each trial's ``extra`` payload (exactly how the Fig 5-5..5-8 benchmarks
+consume this scenario).
 
-Run:  python examples/testbed_sweep.py
+Run:  PYTHONPATH=src python examples/testbed_sweep.py
 """
 
 import numpy as np
 
-from repro.testbed.experiment import (
-    Design,
-    PairExperiment,
-    PairExperimentConfig,
-)
+from repro import MonteCarloRunner, ScenarioSpec
 from repro.testbed.topology import default_testbed
 
 
 def main() -> None:
-    rng = np.random.default_rng(5)
     testbed = default_testbed(seed=7)
     mix = testbed.sensing_mix()
     print("14-node testbed sensing mix:",
           {k.value: f"{v:.0%}" for k, v in mix.items()},
           "(paper: 80% / 8% / 12%)\n")
 
-    config = PairExperimentConfig(payload_bits=240, n_packets=5,
-                                  max_rounds=4)
-    totals = {d: {"delivered": 0, "sent": 0, "airtime": 0.0}
-              for d in (Design.CURRENT_80211, Design.ZIGZAG)}
+    spec = ScenarioSpec(kind="testbed_pair", n_trials=6, seed=13,
+                        payload_bits=240, n_packets=5, max_rounds=4,
+                        params={"testbed_seed": 7})
+    result = MonteCarloRunner().run(spec)
 
     print(f"{'pair':>10} {'class':>8} | {'802.11 tput/loss':>17} |"
           f" {'zigzag tput/loss':>17}")
-    for _ in range(6):
-        a, b, ap = testbed.sample_pair(rng)
-        sense = min(testbed.sense_probability(a, b),
-                    testbed.sense_probability(b, a))
-        cls = testbed.sensing_class(a, b).value
-        row = {}
-        for design in (Design.CURRENT_80211, Design.ZIGZAG):
-            experiment = PairExperiment(
-                float(testbed.snr_db[ap, a]), float(testbed.snr_db[ap, b]),
-                sense_probability=sense, config=config,
-                rng=np.random.default_rng(int(rng.integers(1 << 31))))
-            flows, airtime = experiment.run(design)
-            delivered = sum(s.delivered for s in flows.values())
-            sent = sum(s.sent for s in flows.values())
-            row[design] = (delivered / max(airtime, 1e-9),
-                           1.0 - delivered / max(sent, 1))
-            totals[design]["delivered"] += delivered
-            totals[design]["sent"] += sent
-            totals[design]["airtime"] += airtime
-        print(f"{a:>4}-{b:<4} {cls:>9} |"
-              f"  {row[Design.CURRENT_80211][0]:5.2f} /"
-              f" {row[Design.CURRENT_80211][1]:5.1%}  |"
-              f"  {row[Design.ZIGZAG][0]:5.2f} /"
-              f" {row[Design.ZIGZAG][1]:5.1%}")
+    for trial in result.trials:
+        a, b, _ap = trial.extra["pair"]
+        cells = []
+        for tag in ("80211", "zigzag"):
+            tput = trial.metrics[f"throughput_{tag}"]
+            loss = float(np.mean(trial.extra[tag]["loss"]))
+            cells.append(f"{tput:8.2f} /{loss:6.2f}")
+        print(f"{f'{a}->{b}':>10} {trial.extra['class']:>8} | "
+              + " | ".join(cells))
 
-    print("\naggregate:")
-    for design, t in totals.items():
-        tput = t["delivered"] / max(t["airtime"], 1e-9)
-        loss = 1.0 - t["delivered"] / max(t["sent"], 1)
-        print(f"  {design.value:>14}: throughput {tput:.2f},"
-              f" loss {loss:.1%}")
+    gain = (result.mean("throughput_zigzag")
+            / max(result.mean("throughput_80211"), 1e-9))
+    print(f"\naggregate: 802.11 {result.mean('throughput_80211'):.2f}, "
+          f"zigzag {result.mean('throughput_zigzag'):.2f} "
+          f"({gain:.2f}x; paper's testbed average gain: 1.31x)")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,10 @@ Package layout:
   compared receiver designs.
 - :mod:`repro.analysis` — capacity region and error-decay theory.
 - :mod:`repro.core` — the assembled AP receiver (§5.1d flow control).
+- :mod:`repro.runner` — the parallel Monte-Carlo runner: declarative
+  :class:`~repro.runner.spec.ScenarioSpec`, process fan-out with
+  deterministic seeding, and the ``python -m repro`` CLI. This is the
+  supported entry point for running experiments at scale.
 """
 
 from repro.core import ClientTable, ReceiverConfig, ZigZagReceiver
@@ -36,13 +40,25 @@ from repro.errors import (
     SyncError,
     TrackingError,
 )
+from repro.runner import (
+    MonteCarloRunner,
+    RunResult,
+    ScenarioSpec,
+    SenderSpec,
+    SweepResult,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ZigZagReceiver",
     "ReceiverConfig",
     "ClientTable",
+    "MonteCarloRunner",
+    "ScenarioSpec",
+    "SenderSpec",
+    "RunResult",
+    "SweepResult",
     "ReproError",
     "ConfigurationError",
     "FrameError",

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the Monte-Carlo runner command line."""
+
+from repro.runner.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

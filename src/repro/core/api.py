@@ -14,6 +14,11 @@ The receiver also maintains the per-client coarse frequency-offset table
 the paper describes ("the AP can maintain coarse estimates of the frequency
 offsets of active clients as obtained at the time of association"), updated
 from every successful decode.
+
+For running this receiver over Monte-Carlo experiment campaigns, use the
+:mod:`repro.runner` subsystem (its ``receiver_stream`` scenario drives
+exactly this flow control); ``python -m repro run scenario.toml`` is the
+supported experiment entry point.
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ class ClientTable:
     _freqs: dict[int, float] = field(default_factory=dict)
 
     def update(self, src: int, freq_offset: float) -> None:
+        """Fold a fresh per-decode offset estimate into the EWMA."""
         if src in self._freqs:
             old = self._freqs[src]
             self._freqs[src] = (1 - self.smoothing) * old \
@@ -63,6 +69,7 @@ class ClientTable:
             self._freqs[src] = freq_offset
 
     def get(self, src: int, default: float = 0.0) -> float:
+        """The current coarse offset estimate for client *src*."""
         return self._freqs.get(src, default)
 
     def candidates(self) -> list[float]:
@@ -99,6 +106,7 @@ class ReceiverConfig:
     expected_symbols: int | None = None
 
     def stream_config(self) -> StreamConfig:
+        """The equivalent chunk-decoder configuration."""
         return StreamConfig(
             preamble=self.preamble,
             shaper=self.shaper,

@@ -1,0 +1,73 @@
+"""Parallel Monte-Carlo runner (the supported experiment entry point).
+
+Every figure in the paper is a Monte-Carlo sweep over collision
+scenarios. This subsystem turns those sweeps into data, declaratively:
+
+- :mod:`repro.runner.spec` — :class:`ScenarioSpec`, a declarative
+  description of a collision scenario (senders, channel, backoff, design
+  under test) loadable from TOML;
+- :mod:`repro.runner.seeding` — deterministic, spawn-safe per-trial
+  seeding built on :class:`numpy.random.SeedSequence`;
+- :mod:`repro.runner.runner` — :class:`MonteCarloRunner`, which fans
+  trials out across worker processes in batches and aggregates
+  per-trial metrics into means with confidence intervals;
+- :mod:`repro.runner.scenarios` — the scenario registry mapping a spec's
+  ``kind`` to a trial function;
+- :mod:`repro.runner.cache` — a per-process cache of expensive reference
+  signals (preambles, pulse shapers, synchronizers) reused across trials;
+- :mod:`repro.runner.cli` — the ``python -m repro`` command line.
+
+Results are bit-identical for a given seed regardless of worker count:
+trial *i* always draws from ``SeedSequence(seed, spawn_key=(i,))`` and
+aggregation is ordered by trial index.
+"""
+
+from repro.runner.builders import hidden_pair_scenario
+from repro.runner.cache import SignalCache, cache_stats, shared_cache
+from repro.runner.results import (
+    RunResult,
+    SweepResult,
+    TrialResult,
+    merge_flow_stats,
+)
+from repro.runner.runner import MonteCarloRunner
+from repro.runner.scenarios import (
+    TrialContext,
+    available_scenarios,
+    get_scenario,
+    scenario,
+    scenario_designs,
+)
+from repro.runner.seeding import trial_rng, trial_seed, trial_seed_sequence
+from repro.runner.spec import (
+    BackoffSpec,
+    ChannelSpec,
+    ScenarioSpec,
+    SenderSpec,
+    parse_sweep,
+)
+
+__all__ = [
+    "BackoffSpec",
+    "ChannelSpec",
+    "MonteCarloRunner",
+    "RunResult",
+    "ScenarioSpec",
+    "SenderSpec",
+    "SignalCache",
+    "SweepResult",
+    "TrialContext",
+    "TrialResult",
+    "available_scenarios",
+    "cache_stats",
+    "get_scenario",
+    "hidden_pair_scenario",
+    "merge_flow_stats",
+    "parse_sweep",
+    "scenario",
+    "scenario_designs",
+    "shared_cache",
+    "trial_rng",
+    "trial_seed",
+    "trial_seed_sequence",
+]

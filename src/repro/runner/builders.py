@@ -1,0 +1,84 @@
+"""Signal-level scenario builders shared by scenarios, tests, benchmarks.
+
+These build raw collision captures (with ground-truth frames and channel
+placements) for trial functions that drive the ZigZag machinery directly,
+below the :class:`~repro.testbed.experiment.PairExperiment` level.
+Promoted from the test helpers so benchmarks no longer reach into
+``tests/``; ``tests/helpers.py`` re-exports them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.channel import ChannelParams
+from repro.phy.constellation import BPSK
+from repro.phy.frame import Frame
+from repro.phy.medium import Transmission, synthesize
+from repro.phy.sync import Synchronizer
+from repro.utils.bits import random_bits
+from repro.zigzag.engine import PacketSpec, PlacementParams
+
+__all__ = ["hidden_pair_scenario"]
+
+
+def hidden_pair_scenario(rng, preamble, shaper, *, snr_db=12.0,
+                         payload_bits=200, offsets=(160, 64),
+                         phase_noise=1e-3, noise_power=1.0,
+                         freq_spread=4e-3, oracle=False,
+                         snr_b_db=None):
+    """Build two collisions of the same (Alice, Bob) packet pair.
+
+    Returns (captures, frames, specs, placements).
+    """
+    amp_a = np.sqrt(10 ** (snr_db / 10) * noise_power)
+    amp_b = np.sqrt(10 ** ((snr_b_db if snr_b_db is not None else snr_db)
+                           / 10) * noise_power)
+    frames = {
+        "A": Frame.make(random_bits(payload_bits, rng), src=1, seq=1,
+                        preamble=preamble),
+        "B": Frame.make(random_bits(payload_bits, rng), src=2, seq=2,
+                        preamble=preamble),
+    }
+    params = {
+        "A": ChannelParams(
+            gain=amp_a * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+            freq_offset=float(rng.uniform(-freq_spread, freq_spread)),
+            sampling_offset=float(rng.uniform(0, 1)),
+            phase_noise_std=phase_noise),
+        "B": ChannelParams(
+            gain=amp_b * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+            freq_offset=float(rng.uniform(-freq_spread, freq_spread)),
+            sampling_offset=float(rng.uniform(0, 1)),
+            phase_noise_std=phase_noise),
+    }
+    captures = []
+    for bob_offset in offsets:
+        captures.append(synthesize(
+            [Transmission.from_symbols(frames["A"].symbols, shaper,
+                                       params["A"], 0, "A"),
+             Transmission.from_symbols(frames["B"].symbols, shaper,
+                                       params["B"], bob_offset, "B")],
+            noise_power, rng, leading=8, tail=40))
+    sync = Synchronizer(preamble, shaper, threshold=0.3)
+    placements = []
+    for ci, capture in enumerate(captures):
+        for t in capture.transmissions:
+            if oracle:
+                from repro.phy.estimation import ChannelEstimate
+                est = ChannelEstimate(
+                    gain=t.params.gain,
+                    freq_offset=t.params.freq_offset,
+                    sampling_offset=t.params.sampling_offset,
+                    snr_db=snr_db)
+            else:
+                coarse = params[t.label].freq_offset \
+                    + rng.normal(0, 1.5e-5)
+                est = sync.acquire(capture.samples, t.symbol0,
+                                   coarse_freq=coarse,
+                                   noise_power=noise_power)
+            placements.append(PlacementParams(
+                t.label, ci, t.symbol0 + est.sampling_offset, est))
+    specs = {name: PacketSpec(name, frames[name].n_symbols, BPSK)
+             for name in frames}
+    return captures, frames, specs, placements

@@ -1,0 +1,165 @@
+"""Trial and run results: aggregation with confidence intervals.
+
+A scenario's trial function produces one :class:`TrialResult` per trial —
+scalar metrics, optionally per-flow :class:`~repro.testbed.metrics.FlowStats`
+and airtime. The runner collects them (always ordered by trial index, so
+aggregation is worker-count independent) into a :class:`RunResult`, which
+reports each metric as a mean with a normal-approximation confidence
+interval, and merges flow counters across trials. A parameter sweep
+yields a :class:`SweepResult` — one :class:`RunResult` per grid point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.testbed.metrics import FlowStats
+from repro.utils.stats import confidence_interval_mean
+
+__all__ = ["RunResult", "SweepResult", "TrialResult", "merge_flow_stats"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """What one Monte-Carlo trial produced."""
+
+    index: int
+    metrics: dict[str, float]
+    flows: dict[str, FlowStats] | None = None
+    airtime: float = 0.0
+    extra: dict[str, Any] | None = None
+
+
+def merge_flow_stats(items: Iterable[FlowStats]) -> FlowStats:
+    """Sum per-flow counters accumulated by independent trials."""
+    merged = FlowStats()
+    for stats in items:
+        merged.sent += stats.sent
+        merged.delivered += stats.delivered
+        merged.airtime_slots += stats.airtime_slots
+        merged.bers.extend(stats.bers)
+    return merged
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of every trial of one scenario run."""
+
+    spec: Any
+    trials: list[TrialResult]
+    n_workers: int = 1
+    elapsed: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.trials = sorted(self.trials, key=lambda t: t.index)
+
+    # -- per-metric access ---------------------------------------------
+    @property
+    def metric_names(self) -> list[str]:
+        names: list[str] = []
+        for trial in self.trials:
+            for name in trial.metrics:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(self, metric: str) -> np.ndarray:
+        """Per-trial values of one metric, in trial-index order."""
+        values = [t.metrics[metric] for t in self.trials
+                  if metric in t.metrics]
+        if not values:
+            raise ConfigurationError(f"no metric named {metric!r}")
+        return np.asarray(values, dtype=float)
+
+    def mean(self, metric: str) -> float:
+        """Sample mean of one metric across trials."""
+        return float(self.series(metric).mean())
+
+    def ci(self, metric: str, z: float = 1.96) -> tuple[float, float, float]:
+        """(mean, low, high) confidence interval for one metric."""
+        return confidence_interval_mean(self.series(metric), z=z)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """``{metric: {mean, lo, hi, n}}`` over every metric observed."""
+        out = {}
+        for name in self.metric_names:
+            mean, lo, hi = self.ci(name)
+            out[name] = {"mean": mean, "lo": lo, "hi": hi,
+                         "n": int(self.series(name).size)}
+        return out
+
+    # -- flows ----------------------------------------------------------
+    @property
+    def total_airtime(self) -> float:
+        return float(sum(t.airtime for t in self.trials))
+
+    def flows(self) -> dict[str, FlowStats]:
+        """Per-flow counters merged across every trial that reported them."""
+        buckets: dict[str, list[FlowStats]] = {}
+        for trial in self.trials:
+            for name, stats in (trial.flows or {}).items():
+                buckets.setdefault(name, []).append(stats)
+        return {name: merge_flow_stats(items)
+                for name, items in buckets.items()}
+
+    # -- presentation ---------------------------------------------------
+    def format_table(self) -> str:
+        """A plain-text metric table (what the CLI prints)."""
+        rows = [f"{'metric':<24} {'mean':>10} {'95% CI':>23} {'n':>4}"]
+        for name, cell in self.summary().items():
+            rows.append(
+                f"{name:<24} {cell['mean']:>10.5f} "
+                f"[{cell['lo']:>10.5f},{cell['hi']:>10.5f}] "
+                f"{cell['n']:>4d}")
+        return "\n".join(rows)
+
+
+@dataclass
+class SweepResult:
+    """One :class:`RunResult` per value of a swept parameter."""
+
+    param: str
+    points: list[tuple[Any, RunResult]] = field(default_factory=list)
+
+    def values(self) -> list[Any]:
+        return [value for value, _ in self.points]
+
+    def result_at(self, value: Any) -> RunResult:
+        for point, result in self.points:
+            if point == value:
+                return result
+        raise ConfigurationError(f"no sweep point {value!r}")
+
+    def curve(self, metric: str) -> tuple[list[Any], np.ndarray,
+                                          np.ndarray, np.ndarray]:
+        """``(values, means, lows, highs)`` of one metric along the sweep."""
+        means, los, his = [], [], []
+        for _, result in self.points:
+            mean, lo, hi = result.ci(metric)
+            means.append(mean)
+            los.append(lo)
+            his.append(hi)
+        return (self.values(), np.asarray(means), np.asarray(los),
+                np.asarray(his))
+
+    def format_table(self, metrics: list[str] | None = None) -> str:
+        """A plain-text sweep table, one row per grid point."""
+        if not self.points:
+            return "(empty sweep)"
+        names = metrics or self.points[0][1].metric_names
+        head = f"{self.param:>12} | " + " | ".join(
+            f"{name:>14}" for name in names)
+        rows = [head, "-" * len(head)]
+        for value, result in self.points:
+            cells = []
+            for name in names:
+                try:
+                    cells.append(f"{result.mean(name):>14.5f}")
+                except ConfigurationError:
+                    cells.append(f"{'-':>14}")
+            rows.append(f"{value!s:>12} | " + " | ".join(cells))
+        return "\n".join(rows)

@@ -1,0 +1,182 @@
+"""The parallel Monte-Carlo executor.
+
+:class:`MonteCarloRunner` fans a scenario's trials out across worker
+processes. Trials are grouped into contiguous batches so each worker
+amortizes its warm-up (imports, reference-signal cache fills) over many
+trials of PHY work; per-trial randomness is derived from the trial index
+alone (:mod:`repro.runner.seeding`), and aggregation is ordered by trial
+index — so for a given root seed, results are **bit-identical whether the
+run uses 1 worker or 40, fork or spawn**.
+
+``n_workers=1`` executes inline with zero process overhead (and is the
+reference the parallel path is tested against). The generic :meth:`map`
+drives arbitrary module-level trial functions through the same machinery,
+which is how the deterministic figure benchmarks ride the runner.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runner.results import RunResult, SweepResult, TrialResult
+from repro.runner.scenarios import TrialContext, get_scenario, scenario_designs
+from repro.runner.spec import ScenarioSpec
+
+__all__ = ["MonteCarloRunner"]
+
+
+def _coerce_trial(raw: Any, index: int) -> TrialResult:
+    """Normalize a scenario function's return value to a TrialResult."""
+    if isinstance(raw, TrialResult):
+        if raw.index != index:
+            raw = replace(raw, index=index)
+        return raw
+    if isinstance(raw, dict):
+        return TrialResult(index=index,
+                           metrics={k: float(v) for k, v in raw.items()})
+    raise ConfigurationError(
+        f"scenario returned {type(raw).__name__}; expected dict or "
+        "TrialResult")
+
+
+def _scenario_batch(spec_dict: dict, indices: Sequence[int]
+                    ) -> list[TrialResult]:
+    """Worker entry point: run a contiguous batch of scenario trials.
+
+    Receives the spec in plain-dict form so the call is spawn-safe; the
+    per-process reference-signal cache persists across the batch.
+    """
+    spec = ScenarioSpec.from_dict(spec_dict)
+    fn = get_scenario(spec.kind)
+    return [_coerce_trial(fn(spec, TrialContext.for_trial(spec.seed, i)), i)
+            for i in indices]
+
+
+def _map_batch(fn: Callable, root_seed: int,
+               items: Sequence[tuple[int, Any]], with_values: bool
+               ) -> list[tuple[int, Any]]:
+    """Worker entry point for :meth:`MonteCarloRunner.map`."""
+    out = []
+    for index, value in items:
+        ctx = TrialContext.for_trial(root_seed, index)
+        out.append((index, fn(ctx, value) if with_values else fn(ctx)))
+    return out
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]
+
+
+@dataclass
+class MonteCarloRunner:
+    """Runs scenario trials, fanning out across processes when asked.
+
+    - ``n_workers``: process count; 1 (default) runs inline. ``0`` means
+      "one per CPU".
+    - ``batch_size``: trials per submitted batch; defaults to an even
+      split across workers so each process gets one warm batch.
+    - ``start_method``: ``fork``/``spawn``/``forkserver``; default picks
+      ``fork`` where available. Results do not depend on the choice.
+    """
+
+    n_workers: int = 1
+    batch_size: int | None = None
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers == 0:
+            self.n_workers = os.cpu_count() or 1
+        if self.n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1 (or 0 = auto)")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ScenarioSpec, *,
+            n_trials: int | None = None) -> RunResult:
+        """Run every trial of *spec* and aggregate (see RunResult)."""
+        if n_trials is not None:
+            spec = replace(spec, n_trials=n_trials)
+        supported = scenario_designs(spec.kind)
+        if supported is not None and spec.design not in supported:
+            raise ConfigurationError(
+                f"scenario {spec.kind!r} does not support design "
+                f"{spec.design!r} (supported: {list(supported)})")
+        indices = list(range(spec.n_trials))
+        started = time.perf_counter()
+        if self.n_workers == 1 or len(indices) <= 1:
+            trials = _scenario_batch(spec.to_dict(), indices)
+        else:
+            spec_dict = spec.to_dict()
+            trials = []
+            with self._pool() as pool:
+                futures = [pool.submit(_scenario_batch, spec_dict, batch)
+                           for batch in self._batches(indices)]
+                for future in futures:
+                    trials.extend(future.result())
+        return RunResult(spec=spec, trials=trials,
+                         n_workers=self.n_workers,
+                         elapsed=time.perf_counter() - started)
+
+    def sweep(self, spec: ScenarioSpec, param: str,
+              values: Sequence[Any]) -> SweepResult:
+        """Run *spec* once per value of the dotted-path *param*.
+
+        Every grid point reuses the same root seed (common random
+        numbers), so along-the-sweep differences are the parameter's
+        effect, not resampling noise.
+        """
+        if not values:
+            raise ConfigurationError("sweep needs at least one value")
+        return SweepResult(param=param, points=[
+            (value, self.run(spec.with_override(param, value)))
+            for value in values])
+
+    def map(self, fn: Callable, n_trials: int | None = None, *,
+            seed: int = 0, values: Sequence[Any] | None = None) -> list:
+        """Run a bare trial function through the fan-out machinery.
+
+        Without *values*, calls ``fn(ctx)`` for each trial index; with
+        *values*, calls ``fn(ctx, value)`` once per value (a deterministic
+        grid). *fn* must be module-level (picklable) to use more than one
+        worker. Returns results in index order.
+        """
+        if values is None:
+            if n_trials is None or n_trials < 1:
+                raise ConfigurationError("map needs n_trials or values")
+            items = [(i, None) for i in range(n_trials)]
+            with_values = False
+        else:
+            items = list(enumerate(values))
+            with_values = True
+        if self.n_workers == 1 or len(items) <= 1:
+            pairs = _map_batch(fn, seed, items, with_values)
+        else:
+            pairs = []
+            with self._pool() as pool:
+                futures = [
+                    pool.submit(_map_batch, fn, seed, batch, with_values)
+                    for batch in self._batches(items)]
+                for future in futures:
+                    pairs.extend(future.result())
+        return [result for _, result in sorted(pairs, key=lambda p: p[0])]
+
+    # ------------------------------------------------------------------
+    def _batches(self, items: list) -> list[list]:
+        size = self.batch_size
+        if size is None:
+            size = max(1, -(-len(items) // self.n_workers))
+        return [items[i:i + size] for i in range(0, len(items), size)]
+
+    def _pool(self) -> ProcessPoolExecutor:
+        context = multiprocessing.get_context(
+            self.start_method or _default_start_method())
+        return ProcessPoolExecutor(max_workers=self.n_workers,
+                                   mp_context=context)

@@ -1,0 +1,440 @@
+"""Scenario registry: mapping a spec's ``kind`` to a trial function.
+
+A *scenario* is a function ``fn(spec, ctx) -> dict | TrialResult`` that
+runs ONE Monte-Carlo trial: build the collision(s) for this trial from
+``ctx.rng`` (or hand ``ctx.seed`` to a legacy integer-seeded driver), run
+the design under test, and return scalar metrics (plus optional
+:class:`~repro.testbed.metrics.FlowStats`/airtime/extra payloads via
+:class:`~repro.runner.results.TrialResult`). The runner handles trial
+fan-out, seeding, and aggregation; scenario functions stay single-trial
+and pure-in-their-context.
+
+Register new scenarios with the :func:`scenario` decorator; list them
+with :func:`available_scenarios` or ``python -m repro list``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError, ScheduleError
+from repro.mac.hidden import HiddenScenario
+from repro.phy.channel import ChannelParams
+from repro.phy.medium import Transmission, synthesize
+from repro.phy.sync import Synchronizer
+from repro.receiver.decoder import StandardDecoder
+from repro.receiver.frontend import StreamConfig, SymbolStreamDecoder
+from repro.runner.builders import hidden_pair_scenario
+from repro.runner.cache import cached_preamble, cached_shaper, shared_cache
+from repro.runner.results import TrialResult
+from repro.runner.seeding import trial_rng, trial_seed, trial_seed_sequence
+from repro.runner.spec import ScenarioSpec
+from repro.testbed.experiment import (
+    Design,
+    PairExperiment,
+    PairExperimentConfig,
+    run_capture_sweep_point,
+    run_three_sender_experiment,
+)
+from repro.testbed.metrics import BER_DELIVERY_THRESHOLD, FlowStats
+from repro.testbed.topology import SensingClass, default_testbed
+from repro.utils.bits import bit_error_rate
+from repro.zigzag.decoder import ZigZagPairDecoder, extract_bits
+from repro.zigzag.engine import PacketSpec
+from repro.zigzag.schedule import Placement, greedy_schedule
+
+__all__ = [
+    "TrialContext",
+    "available_scenarios",
+    "get_scenario",
+    "scenario",
+]
+
+ScenarioFn = Callable[[ScenarioSpec, "TrialContext"], Any]
+
+_REGISTRY: dict[str, ScenarioFn] = {}
+# Which spec.design values a scenario honors. None means the scenario is
+# design-independent (it ignores the field or compares designs
+# internally); the runner rejects specs whose design a scenario would
+# silently ignore, and the CLI labels design-independent runs "n/a".
+_DESIGN_SUPPORT: dict[str, tuple[str, ...] | None] = {}
+_ALL_DESIGNS = ("zigzag", "802.11", "collision-free")
+
+
+@dataclass(frozen=True)
+class TrialContext:
+    """Everything one trial may draw randomness from."""
+
+    index: int
+    seed: int
+    seed_sequence: np.random.SeedSequence
+    rng: np.random.Generator
+
+    @classmethod
+    def for_trial(cls, root_seed: int, index: int) -> "TrialContext":
+        """The canonical context of trial *index* under *root_seed*."""
+        sequence = trial_seed_sequence(root_seed, index)
+        return cls(index=index, seed=trial_seed(root_seed, index),
+                   seed_sequence=sequence, rng=trial_rng(root_seed, index))
+
+
+def scenario(name: str, *, designs: tuple[str, ...] | None = _ALL_DESIGNS
+             ) -> Callable[[ScenarioFn], ScenarioFn]:
+    """Register a trial function under a spec ``kind``.
+
+    *designs* lists the ``spec.design`` values the scenario honors
+    (default: all three); pass ``None`` for scenarios that are
+    design-independent.
+    """
+
+    def register(fn: ScenarioFn) -> ScenarioFn:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = fn
+        _DESIGN_SUPPORT[name] = designs
+        return fn
+
+    return register
+
+
+def scenario_designs(name: str) -> tuple[str, ...] | None:
+    """Designs the scenario honors, or None if design-independent."""
+    get_scenario(name)  # raise on unknown kinds
+    return _DESIGN_SUPPORT[name]
+
+
+def get_scenario(name: str) -> ScenarioFn:
+    """Look up a registered trial function by ``kind``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: "
+            f"{sorted(_REGISTRY)}") from None
+
+
+def available_scenarios() -> dict[str, str]:
+    """``{kind: first docstring line}`` for every registered scenario."""
+    return {name: (fn.__doc__ or "").strip().splitlines()[0]
+            for name, fn in sorted(_REGISTRY.items())}
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+def _experiment_config(spec: ScenarioSpec) -> PairExperimentConfig:
+    ch = spec.channel
+    return PairExperimentConfig(
+        payload_bits=spec.payload_bits,
+        n_packets=spec.n_packets,
+        max_rounds=spec.max_rounds,
+        noise_power=ch.noise_power,
+        slot_samples=spec.slot_samples,
+        backoff=spec.backoff.build(),
+        phase_noise_std=ch.phase_noise_std,
+        tx_evm=ch.tx_evm,
+        freq_spread=ch.freq_spread,
+        coarse_freq_error=ch.coarse_freq_error,
+        modulation=spec.modulation,
+        preamble_length=spec.preamble_length,
+    )
+
+
+def _pair_snrs(spec: ScenarioSpec) -> tuple[float, float]:
+    # params.snr_db, when present, overrides the [[sender]] entries for
+    # BOTH senders — so a CLI sweep `--param snr_db=...` takes effect
+    # even on specs that declare named senders.
+    snr_override = spec.param("snr_db")
+    if snr_override is not None:
+        return float(snr_override), float(snr_override)
+    if len(spec.senders) >= 2:
+        return spec.senders[0].snr_db, spec.senders[1].snr_db
+    snr = spec.senders[0].snr_db if spec.senders else 12.0
+    return snr, snr
+
+
+@scenario("pair")
+def pair_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
+    """Two saturated senders to one AP under the design under test (§5.2).
+
+    Senders come from the spec's ``[[sender]]`` entries (first two); with
+    none, ``params.snr_db`` sets a symmetric pair. Metrics are normalized
+    per-sender and total throughput plus per-sender loss.
+    """
+    snr_a, snr_b = _pair_snrs(spec)
+    experiment = PairExperiment(
+        snr_a, snr_b, sense_probability=spec.sense_probability,
+        config=_experiment_config(spec), rng=ctx.rng,
+        preamble=cached_preamble(spec.preamble_length),
+        shaper=cached_shaper())
+    flows, airtime = experiment.run(Design(spec.design))
+    shared = max(airtime, 1e-9)
+    names = sorted(flows)
+    metrics = {}
+    for name, stats in flows.items():
+        metrics[f"throughput_{name}"] = stats.delivered / shared
+        metrics[f"loss_{name}"] = stats.loss_rate
+    metrics["throughput_total"] = sum(
+        metrics[f"throughput_{n}"] for n in names)
+    return TrialResult(index=ctx.index, metrics=metrics, flows=flows,
+                       airtime=airtime)
+
+
+@scenario("capture")
+def capture_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
+    """One Fig 5-4 capture-effect point: SNR_A = SNR_B + params.sinr_db.
+
+    Wraps :func:`repro.testbed.experiment.run_capture_sweep_point` with a
+    per-trial derived seed; metrics are the normalized throughputs
+    ``A``, ``B`` and ``total``.
+    """
+    return run_capture_sweep_point(
+        float(spec.param("sinr_db", 8.0)), Design(spec.design),
+        snr_b_db=float(spec.param("snr_b_db", 9.0)),
+        config=_experiment_config(spec), seed=ctx.seed,
+        preamble=cached_preamble(spec.preamble_length),
+        shaper=cached_shaper())
+
+
+@scenario("three_senders", designs=("zigzag",))
+def three_senders_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
+    """Three mutually-hidden senders, ZigZag AP (Fig 5-9, §4.5).
+
+    Metrics: per-sender normalized throughput, their total, and the
+    max/min fairness ratio.
+    """
+    tput = run_three_sender_experiment(
+        snr_db=float(spec.param("snr_db", 12.0)),
+        n_packets=spec.n_packets, payload_bits=spec.payload_bits,
+        seed=ctx.seed, slot_samples=spec.slot_samples,
+        noise_power=spec.channel.noise_power,
+        preamble=cached_preamble(spec.preamble_length),
+        shaper=cached_shaper())
+    metrics = {f"throughput_{name}": value for name, value in tput.items()}
+    values = list(tput.values())
+    metrics["throughput_total"] = float(sum(values))
+    metrics["fairness_ratio"] = float(
+        max(values) / max(min(values), 1e-9))
+    return metrics
+
+
+@scenario("zigzag_ber", designs=None)
+def zigzag_ber_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
+    """Fig 5-3 BER micro-benchmark: ZigZag vs the Collision-Free Scheduler.
+
+    One hidden-pair collision pair per trial, decoded forward-only and
+    forward+backward; the same frames are also sent in separate slots and
+    decoded interference-free. Metrics: ``ber_fwd``, ``ber_both``,
+    ``ber_free`` (each averaged over the pair's two packets).
+    """
+    rng = ctx.rng
+    preamble = cached_preamble(spec.preamble_length)
+    shaper = cached_shaper()
+    noise_power = spec.channel.noise_power
+    config = StreamConfig(preamble=preamble, shaper=shaper,
+                          noise_power=noise_power)
+    snr_db = float(spec.param("snr_db", 10.0))
+    captures, frames, specs, placements = hidden_pair_scenario(
+        rng, preamble, shaper, snr_db=snr_db,
+        payload_bits=spec.payload_bits, noise_power=noise_power)
+    metrics = {}
+    for use_backward, key in ((False, "ber_fwd"), (True, "ber_both")):
+        outcome = ZigZagPairDecoder(
+            config, use_backward=use_backward).decode(
+            [c.samples for c in captures], specs, placements)
+        metrics[key] = float(np.mean(
+            [outcome.results[n].ber_against(frames[n].body_bits)
+             for n in frames]))
+    # Collision-Free Scheduler baseline: same frames, separate slots; BER
+    # measured over the full recovered stream with known framing.
+    sync = Synchronizer(preamble, shaper)
+    free = []
+    for name, frame in frames.items():
+        params = ChannelParams(
+            gain=np.sqrt(10 ** (snr_db / 10) * noise_power)
+            * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+            freq_offset=float(rng.uniform(-4e-3, 4e-3)),
+            sampling_offset=float(rng.uniform(0, 1)),
+            phase_noise_std=1e-3)
+        cap = synthesize([Transmission.from_symbols(
+            frame.symbols, shaper, params, 0, "x")], noise_power, rng,
+            leading=8, tail=30)
+        t = cap.transmissions[0]
+        est = sync.acquire(
+            cap.samples, t.symbol0,
+            coarse_freq=params.freq_offset + rng.normal(0, 1.5e-5),
+            noise_power=noise_power)
+        stream = SymbolStreamDecoder(
+            config, est, t.symbol0 + est.sampling_offset)
+        chunk = stream.decode_chunk(cap.samples, frame.n_symbols)
+        bits, _, _ = extract_bits(
+            chunk.soft, PacketSpec(name, frame.n_symbols), len(preamble))
+        free.append(bit_error_rate(
+            frame.body_bits, bits[:frame.body_bits.size]))
+    metrics["ber_free"] = float(np.mean(free))
+    return metrics
+
+
+@scenario("schedule_failure", designs=None)
+def schedule_failure_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
+    """Fig 4-7: does greedy chunk scheduling fail for this backoff draw?
+
+    ``params.n_senders`` mutually-hidden senders collide ``n_senders``
+    times with fresh jitter drawn from the spec's backoff policy; the
+    trial reports ``failed`` = 1.0 when no complete decode order exists.
+    The run-level mean of ``failed`` is the figure's failure probability.
+    """
+    rng = ctx.rng
+    n_senders = int(spec.param("n_senders", 3))
+    n_symbols = int(spec.param("n_symbols", 600))
+    picker = spec.backoff.build()
+    hidden = HiddenScenario(n_senders=n_senders,
+                            slot_samples=spec.slot_samples, picker=picker)
+    names = [f"s{i}" for i in range(n_senders)]
+    rounds = hidden.collision_offsets(rng, n_senders)
+    placements = [
+        # Each transmission lands with an independent fractional sampling
+        # phase, as on real hardware — exact sample ties do not occur.
+        Placement(name, c, float(off) + rng.uniform(0, 1), n_symbols, 2)
+        for c, offsets in enumerate(rounds)
+        for name, off in zip(names, offsets)
+    ]
+    try:
+        # The 1-symbol margin matches the physical engine: packets closer
+        # than a symbol (same slot, fractional gap) are undecodable.
+        greedy_schedule(placements, margin_symbols=1.0)
+    except ScheduleError:
+        return {"failed": 1.0}
+    return {"failed": 0.0}
+
+
+@scenario("testbed_pair", designs=None)
+def testbed_pair_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
+    """One §5.6 campaign draw: a random testbed pair under both designs.
+
+    Samples a sender pair (with a reachable AP) from the 14-node testbed
+    and runs it under Current 802.11 and ZigZag. Metrics compare the two
+    designs; ``extra`` carries per-flow detail and the sensing class for
+    the Fig 5-5..5-8 CDFs and scatter plots.
+    """
+    rng = ctx.rng
+    testbed = shared_cache().get(
+        ("testbed", int(spec.param("testbed_seed", 7))),
+        lambda: default_testbed(seed=int(spec.param("testbed_seed", 7))))
+    a, b, ap = testbed.sample_pair(rng)
+    sense = min(testbed.sense_probability(a, b),
+                testbed.sense_probability(b, a))
+    sensing_class = testbed.sensing_class(a, b)
+    config = _experiment_config(spec)
+    metrics: dict[str, float] = {}
+    extra: dict[str, Any] = {"pair": (a, b, ap),
+                             "class": sensing_class.value}
+    flows_out: dict[str, FlowStats] = {}
+    for design in (Design.CURRENT_80211, Design.ZIGZAG):
+        experiment = PairExperiment(
+            float(testbed.snr_db[ap, a]), float(testbed.snr_db[ap, b]),
+            sense_probability=sense, config=config,
+            rng=np.random.default_rng(int(rng.integers(1 << 31))),
+            preamble=cached_preamble(spec.preamble_length),
+            shaper=cached_shaper())
+        flows, airtime = experiment.run(design)
+        shared = max(airtime, 1e-9)
+        tag = "80211" if design is Design.CURRENT_80211 else "zigzag"
+        metrics[f"throughput_{tag}"] = sum(
+            s.delivered for s in flows.values()) / shared
+        metrics[f"loss_{tag}"] = float(np.mean(
+            [s.loss_rate for s in flows.values()]))
+        extra[tag] = {
+            "flow_throughputs": {n: s.delivered / shared
+                                 for n, s in flows.items()},
+            "loss": [s.loss_rate for s in flows.values()],
+        }
+        for name, stats in flows.items():
+            flows_out[f"{tag}_{name}"] = stats
+    metrics["hidden"] = float(sensing_class is not SensingClass.PERFECT)
+    return TrialResult(index=ctx.index, metrics=metrics, flows=flows_out,
+                       extra=extra)
+
+
+@scenario("receiver_stream", designs=("zigzag",))
+def receiver_stream_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
+    """The assembled §5.1(d) AP on a two-collision hidden-pair stream.
+
+    Feeds the high-level :class:`repro.ZigZagReceiver` the two captures of
+    a hidden pair; metrics are the number of packets recovered (0..2), the
+    mean BER over the recovered ones, and — as a measured baseline — the
+    packets a current-802.11 AP (plain :class:`StandardDecoder` per
+    transmission) delivers from the same captures.
+    """
+    from repro.core import ReceiverConfig, ZigZagReceiver
+    from repro.phy.frame import Frame
+    from repro.utils.bits import random_bits
+
+    rng = ctx.rng
+    preamble = cached_preamble(spec.preamble_length)
+    shaper = cached_shaper()
+    noise_power = spec.channel.noise_power
+    snr_db = float(spec.param("snr_db", 13.0))
+    amplitude = np.sqrt(10 ** (snr_db / 10) * noise_power)
+    spread = spec.channel.freq_spread
+    frames = {
+        "A": Frame.make(random_bits(spec.payload_bits, rng), src=1,
+                        preamble=preamble),
+        "B": Frame.make(random_bits(spec.payload_bits, rng), src=2,
+                        preamble=preamble),
+    }
+    freqs = {n: float(rng.uniform(-spread, spread)) for n in frames}
+    receiver = ZigZagReceiver(ReceiverConfig(
+        preamble=preamble, shaper=shaper, noise_power=noise_power,
+        expected_symbols=frames["A"].n_symbols))
+    # The AP knows each client's coarse frequency offset from association
+    # time (§4.2.1) — seed the table the way _learn() would.
+    for src, name in ((1, "A"), (2, "B")):
+        receiver.clients.update(src, freqs[name])
+    captures = []
+    for offsets in ((0, 160), (0, 60)):
+        txs = []
+        for (name, frame), offset in zip(frames.items(), offsets):
+            params = ChannelParams(
+                gain=amplitude * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+                freq_offset=freqs[name],
+                sampling_offset=float(rng.uniform(0, 1)),
+                phase_noise_std=spec.channel.phase_noise_std)
+            txs.append(Transmission.from_symbols(
+                frame.symbols, shaper, params, offset, name))
+        captures.append(synthesize(txs, noise_power, rng,
+                                   leading=8, tail=30))
+    decoded = []
+    for capture in captures:
+        try:
+            decoded.extend(r for r in receiver.receive(capture.samples)
+                           if r.success)
+        except ReproError:
+            continue
+    bers = []
+    for result in decoded:
+        if result.header is not None and result.header.src in (1, 2):
+            truth = frames["A" if result.header.src == 1 else "B"]
+            bers.append(result.ber_against(truth.body_bits))
+    # Measured current-802.11 baseline on the same air: a plain
+    # StandardDecoder applied to each transmission in each collision.
+    baseline_delivered = 0
+    for capture in captures:
+        for t in capture.transmissions:
+            decoder = StandardDecoder(
+                preamble, shaper, noise_power=noise_power,
+                coarse_freq=freqs[t.label])
+            try:
+                result = decoder.decode(capture.samples,
+                                        start_position=t.symbol0)
+            except ReproError:
+                continue
+            if result.ber_against(frames[t.label].body_bits) \
+                    < BER_DELIVERY_THRESHOLD:
+                baseline_delivered += 1
+    return {"packets_recovered": float(len(decoded)),
+            "mean_ber": float(np.mean(bers)) if bers else 1.0,
+            "packets_recovered_80211": float(baseline_delivered)}

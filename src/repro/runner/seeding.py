@@ -1,0 +1,40 @@
+"""Deterministic, spawn-safe per-trial seeding.
+
+Trial *i* of a run with root seed *s* always derives its randomness from
+``SeedSequence(s, spawn_key=(i,))`` — a function of the trial index only,
+never of which worker process executes the trial or in what order. This is
+what makes :class:`~repro.runner.runner.MonteCarloRunner` results
+bit-identical across worker counts and start methods.
+
+Legacy experiment APIs that take an integer seed get :func:`trial_seed`,
+a 63-bit integer drawn from the same sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["trial_rng", "trial_seed", "trial_seed_sequence", "trial_seeds"]
+
+
+def trial_seed_sequence(root_seed: int, trial_index: int) -> np.random.SeedSequence:
+    """The canonical :class:`~numpy.random.SeedSequence` for one trial."""
+    return np.random.SeedSequence(entropy=int(root_seed),
+                                  spawn_key=(int(trial_index),))
+
+
+def trial_rng(root_seed: int, trial_index: int) -> np.random.Generator:
+    """A fresh generator for one trial, independent of all other trials."""
+    return np.random.default_rng(trial_seed_sequence(root_seed, trial_index))
+
+
+def trial_seed(root_seed: int, trial_index: int) -> int:
+    """A stable 63-bit integer seed for legacy ``seed=``-style APIs."""
+    state = trial_seed_sequence(root_seed, trial_index).generate_state(
+        2, np.uint32)
+    return (int(state[0]) | (int(state[1]) << 32)) & ((1 << 63) - 1)
+
+
+def trial_seeds(root_seed: int, n_trials: int) -> list[int]:
+    """Integer seeds for trials ``0 .. n_trials-1`` (see :func:`trial_seed`)."""
+    return [trial_seed(root_seed, i) for i in range(n_trials)]

@@ -1,0 +1,300 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` fully describes one Monte-Carlo collision
+scenario: which registered scenario ``kind`` to run, the receiver design
+under test, the senders (topology and powers), the channel impairments,
+the backoff policy, and the trial budget. Specs are immutable, picklable
+(they cross process boundaries), serializable to plain dicts, and
+loadable from TOML files::
+
+    [scenario]
+    kind = "pair"
+    design = "zigzag"
+    n_trials = 8
+
+    [[sender]]
+    name = "alice"
+    snr_db = 12.0
+
+    [[sender]]
+    name = "bob"
+    snr_db = 9.0
+
+    [channel]
+    noise_power = 1.0
+
+    [backoff]
+    kind = "fixed"
+    cw = 16
+
+    [params]            # scenario-specific extras
+    anything = 1.0
+
+See ``docs/scenarios.md`` for the full schema and worked examples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tomllib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.mac.backoff import BackoffPicker, ExponentialBackoff, FixedWindowBackoff
+
+__all__ = [
+    "BackoffSpec",
+    "ChannelSpec",
+    "ScenarioSpec",
+    "SenderSpec",
+    "parse_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SenderSpec:
+    """One transmitting node: its name and received SNR at the AP."""
+
+    name: str
+    snr_db: float
+    freq_offset: float | None = None  # None: drawn from +/- channel.freq_spread
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Channel impairment knobs shared by every sender in the scenario."""
+
+    noise_power: float = 1.0
+    phase_noise_std: float = 1e-3
+    tx_evm: float = 0.03
+    freq_spread: float = 4e-3
+    coarse_freq_error: float = 1.5e-5
+
+    def __post_init__(self) -> None:
+        if self.noise_power <= 0:
+            raise ConfigurationError("noise_power must be positive")
+
+
+@dataclass(frozen=True)
+class BackoffSpec:
+    """Backoff policy: ``fixed`` congestion window or ``exponential``."""
+
+    kind: str = "fixed"
+    cw: int = 16
+    cw_min: int = 31
+    cw_max: int = 1023
+
+    def build(self) -> BackoffPicker:
+        """Instantiate the matching :class:`~repro.mac.backoff.BackoffPicker`."""
+        if self.kind == "fixed":
+            return FixedWindowBackoff(self.cw)
+        if self.kind == "exponential":
+            return ExponentialBackoff(cw_min=self.cw_min, cw_max=self.cw_max)
+        raise ConfigurationError(
+            f"unknown backoff kind {self.kind!r}; use 'fixed' or 'exponential'")
+
+
+_DESIGNS = ("zigzag", "802.11", "collision-free")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, declarative Monte-Carlo scenario description."""
+
+    kind: str
+    design: str = "zigzag"
+    senders: tuple[SenderSpec, ...] = ()
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
+    backoff: BackoffSpec = field(default_factory=BackoffSpec)
+    sense_probability: float = 0.0
+    payload_bits: int = 240
+    n_packets: int = 6
+    max_rounds: int = 4
+    slot_samples: int = 20
+    modulation: str = "bpsk"
+    preamble_length: int = 32
+    n_trials: int = 4
+    seed: int = 0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigurationError("scenario kind must be non-empty")
+        if self.design not in _DESIGNS:
+            raise ConfigurationError(
+                f"unknown design {self.design!r}; choose from {_DESIGNS}")
+        if not 0.0 <= self.sense_probability <= 1.0:
+            raise ConfigurationError("sense_probability must be in [0, 1]")
+        if self.n_trials < 1:
+            raise ConfigurationError("n_trials must be >= 1")
+        if isinstance(self.params, dict):
+            object.__setattr__(self, "params",
+                               tuple(sorted(self.params.items())))
+
+    # -- scenario-specific extras --------------------------------------
+    def param(self, key: str, default: Any = None) -> Any:
+        """Look up a scenario-specific extra from the ``[params]`` table."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    @property
+    def extra_params(self) -> dict[str, Any]:
+        """The ``[params]`` table as a plain dict."""
+        return dict(self.params)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Build a spec from the nested-dict form (the TOML layout)."""
+        data = dict(data)
+        scalar = dict(data.pop("scenario", {}))
+        senders = tuple(
+            SenderSpec(**entry) for entry in data.pop("sender", ()))
+        channel = ChannelSpec(**data.pop("channel", {}))
+        backoff = BackoffSpec(**data.pop("backoff", {}))
+        params = tuple(sorted(dict(data.pop("params", {})).items()))
+        if data:
+            raise ConfigurationError(
+                f"unknown scenario tables: {sorted(data)}")
+        try:
+            return cls(senders=senders, channel=channel, backoff=backoff,
+                       params=params, **scalar)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad [scenario] table: {exc}") from exc
+
+    @classmethod
+    def from_toml(cls, path: str | Path) -> "ScenarioSpec":
+        """Load a spec from a TOML file (see ``docs/scenarios.md``)."""
+        with open(path, "rb") as handle:
+            try:
+                data = tomllib.load(handle)
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigurationError(
+                    f"invalid TOML in {path}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> dict:
+        """The nested-dict form; ``from_dict(to_dict())`` round-trips."""
+        scalar_fields = [
+            "kind", "design", "sense_probability", "payload_bits",
+            "n_packets", "max_rounds", "slot_samples", "modulation",
+            "preamble_length", "n_trials", "seed",
+        ]
+        out: dict[str, Any] = {
+            "scenario": {name: getattr(self, name)
+                         for name in scalar_fields},
+        }
+        if self.senders:
+            out["sender"] = [dataclasses.asdict(s) for s in self.senders]
+        out["channel"] = dataclasses.asdict(self.channel)
+        out["backoff"] = dataclasses.asdict(self.backoff)
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    # -- overrides ------------------------------------------------------
+    def with_override(self, key: str, value: Any) -> "ScenarioSpec":
+        """Return a copy with one dotted-path override applied.
+
+        Accepted forms: a top-level field (``n_trials``), a nested field
+        (``channel.noise_power``, ``backoff.cw``), a sender field
+        (``sender.alice.snr_db``), or a scenario extra (``params.x``).
+        Unknown top-level keys fall through to the ``params`` table, so
+        sweeping an extra does not require the ``params.`` prefix.
+        """
+        head, _, rest = key.partition(".")
+        if head == "channel" and rest:
+            return replace(self, channel=replace(self.channel,
+                                                 **{rest: value}))
+        if head == "backoff" and rest:
+            return replace(self, backoff=replace(self.backoff,
+                                                 **{rest: value}))
+        if head == "sender" and rest:
+            name, _, attr = rest.partition(".")
+            if not attr:
+                raise ConfigurationError(
+                    f"sender override needs sender.<name>.<field>: {key}")
+            if name not in {s.name for s in self.senders}:
+                raise ConfigurationError(f"no sender named {name!r}")
+            senders = tuple(
+                replace(s, **{attr: value}) if s.name == name else s
+                for s in self.senders)
+            return replace(self, senders=senders)
+        if head == "params" and rest:
+            extras = dict(self.params)
+            extras[rest] = value
+            return replace(self, params=tuple(sorted(extras.items())))
+        if rest:
+            raise ConfigurationError(f"unknown override path: {key}")
+        if head in ("design", "kind", "modulation"):
+            value = str(value)  # "802.11" must stay a name, not a float
+        if head in {f.name for f in dataclasses.fields(self)} \
+                and head != "params":
+            return replace(self, **{head: value})
+        extras = dict(self.params)
+        extras[head] = value
+        return replace(self, params=tuple(sorted(extras.items())))
+
+    def with_overrides(self, overrides: dict[str, Any]) -> "ScenarioSpec":
+        """Apply several dotted-path overrides (see :meth:`with_override`)."""
+        spec = self
+        for key, value in overrides.items():
+            spec = spec.with_override(key, value)
+        return spec
+
+
+def _coerce(text: str) -> Any:
+    """Parse a CLI value: int, then float, then bare string/bool."""
+    text = text.strip()
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_sweep(expr: str) -> tuple[str, list[Any]]:
+    """Parse a sweep expression into ``(dotted_key, values)``.
+
+    Two forms: a range ``snr_db=0:20:2`` (inclusive of the stop when it
+    lands on the grid, like the paper's axis ticks) and an explicit list
+    ``design=zigzag,802.11``. A single value yields a one-point sweep.
+    """
+    key, sep, rhs = expr.partition("=")
+    key = key.strip()
+    if not sep or not key or not rhs.strip():
+        raise ConfigurationError(
+            f"sweep must look like key=start:stop:step or key=a,b,c: {expr!r}")
+    rhs = rhs.strip()
+    if ":" in rhs:
+        pieces = rhs.split(":")
+        if len(pieces) not in (2, 3):
+            raise ConfigurationError(f"bad sweep range {rhs!r}")
+        start, stop = (float(p) for p in pieces[:2])
+        step = float(pieces[2]) if len(pieces) == 3 else 1.0
+        if step <= 0:
+            raise ConfigurationError("sweep step must be positive")
+        values: list[Any] = []
+        value = start
+        while value <= stop + 1e-9 * max(1.0, abs(stop)):
+            values.append(round(value, 12))
+            value += step
+        if not values:
+            raise ConfigurationError(f"empty sweep range {rhs!r}")
+        return key, values
+    pieces = rhs.split(",")
+    coerced = [_coerce(piece) for piece in pieces]
+    # All-or-nothing numeric coercion: a list like "zigzag,802.11" is a
+    # list of names even though "802.11" parses as a float.
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+           for v in coerced):
+        return key, coerced
+    return key, [piece.strip() for piece in pieces]

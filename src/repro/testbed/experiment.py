@@ -16,6 +16,13 @@ stack, mirroring the paper's §5.2 methodology:
 
 Throughput is delivered packets per packet-slot of medium airtime; delivery
 uses the §5.1(f) BER < 1e-3 rule.
+
+These experiments are single-trial building blocks. The supported entry
+point for running them at scale — parallel trial fan-out, deterministic
+per-trial seeding, confidence intervals, TOML scenario files — is the
+:mod:`repro.runner` subsystem (``python -m repro run scenario.toml``);
+see ``docs/scenarios.md``. The drivers here are what the runner's
+``pair``/``capture``/``three_senders`` scenarios wrap.
 """
 
 from __future__ import annotations
@@ -103,6 +110,7 @@ class _Sender:
 
     def params(self, rng: np.random.Generator,
                cfg: PairExperimentConfig) -> ChannelParams:
+        """Draw this round's channel realization for the sender."""
         amplitude = np.sqrt(10.0 ** (self.snr_db / 10.0)
                             * cfg.noise_power)
         return ChannelParams(
@@ -120,15 +128,23 @@ class PairExperiment:
     def __init__(self, snr_a_db: float, snr_b_db: float,
                  sense_probability: float,
                  config: PairExperimentConfig | None = None,
-                 rng: np.random.Generator | None = None) -> None:
+                 rng: np.random.Generator | None = None,
+                 preamble: Preamble | None = None,
+                 shaper: PulseShaper | None = None) -> None:
         if not 0.0 <= sense_probability <= 1.0:
             raise ConfigurationError("sense probability in [0,1] required")
         self.cfg = config or PairExperimentConfig()
         self.rng = rng or np.random.default_rng(0)
         self.sense_probability = sense_probability
         cfg = self.cfg
-        self.preamble = default_preamble(cfg.preamble_length)
-        self.shaper = PulseShaper()
+        # Injectable so the Monte-Carlo runner can reuse cached reference
+        # signals across trials; an injected preamble must match
+        # cfg.preamble_length.
+        if preamble is not None and len(preamble) != cfg.preamble_length:
+            raise ConfigurationError(
+                "injected preamble length differs from config")
+        self.preamble = preamble or default_preamble(cfg.preamble_length)
+        self.shaper = shaper or PulseShaper()
         self.sync = Synchronizer(self.preamble, self.shaper, threshold=0.3)
         self.standard = StandardDecoder(
             self.preamble, self.shaper, noise_power=cfg.noise_power)
@@ -303,6 +319,7 @@ class PairExperiment:
 
     def _run_80211_rounds(self, frames
                           ) -> tuple[float, dict[str, float], dict[str, int]]:
+        """Current-802.11 retransmission rounds for one packet pair."""
         best = {name: 1.0 for name in frames}
         bonus = {name: 0 for name in frames}
         airtime = 0.0
@@ -329,6 +346,8 @@ class PairExperiment:
 
     def _run_zigzag_rounds(self, frames
                            ) -> tuple[float, dict[str, float], dict[str, int]]:
+        """ZigZag rounds: capture-SIC each collision, pair with the
+        previous collision otherwise (§5.2 methodology)."""
         best = {name: 1.0 for name in frames}
         bonus = {name: 0 for name in frames}
         airtime = 0.0
@@ -369,15 +388,21 @@ class PairExperiment:
 def run_capture_sweep_point(sinr_db: float, design: Design, *,
                             snr_b_db: float = 9.0,
                             config: PairExperimentConfig | None = None,
-                            seed: int = 0) -> dict[str, float]:
+                            seed: int = 0,
+                            preamble: Preamble | None = None,
+                            shaper: PulseShaper | None = None
+                            ) -> dict[str, float]:
     """One Fig 5-4 point: hidden pair with SNR_A = SNR_B + SINR.
 
     Returns normalized per-sender throughputs plus their total.
+    *preamble*/*shaper* allow callers (the runner) to inject cached
+    reference objects instead of rebuilding them per point.
     """
     rng = np.random.default_rng(seed)
     experiment = PairExperiment(snr_b_db + sinr_db, snr_b_db,
                                 sense_probability=0.0,
-                                config=config, rng=rng)
+                                config=config, rng=rng,
+                                preamble=preamble, shaper=shaper)
     flows, airtime = experiment.run(design)
     if airtime <= 0:
         return {"A": 0.0, "B": 0.0, "total": 0.0}
@@ -392,17 +417,21 @@ def run_three_sender_experiment(snr_db: float = 12.0, *,
                                 payload_bits: int = 256,
                                 seed: int = 0,
                                 slot_samples: int = 20,
-                                noise_power: float = 1.0
+                                noise_power: float = 1.0,
+                                preamble: Preamble | None = None,
+                                shaper: PulseShaper | None = None
                                 ) -> dict[str, float]:
     """Fig 5-9: three mutually-hidden senders, ZigZag AP.
 
     Each round the three senders collide three times (three
     retransmissions with fresh jitter); the general N-collision engine
     decodes all three packets. Returns per-sender normalized throughput.
+    *preamble*/*shaper* allow callers (the runner) to inject cached
+    reference objects instead of rebuilding them per call.
     """
     rng = np.random.default_rng(seed)
-    preamble = default_preamble(32)
-    shaper = PulseShaper()
+    preamble = preamble or default_preamble(32)
+    shaper = shaper or PulseShaper()
     sync = Synchronizer(preamble, shaper, threshold=0.3)
     config = StreamConfig(preamble=preamble, shaper=shaper,
                           noise_power=noise_power)

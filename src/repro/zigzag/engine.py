@@ -20,6 +20,12 @@ Executing a :class:`~repro.zigzag.schedule.DecodeStep` therefore:
 decode chunk -> re-encode -> measure/correct (cross-collision) -> subtract
 everywhere p appears. Soft symbols, hard decisions and tracked phases are
 accumulated per packet for the caller (bit extraction, MRC, CRC).
+
+This engine is a building block, driven by
+:class:`~repro.zigzag.decoder.ZigZagPairDecoder` per collision set. To
+run whole experiments over it — Monte-Carlo trials, process fan-out,
+aggregated statistics — use the :mod:`repro.runner` subsystem
+(``python -m repro run scenario.toml``), the supported entry point.
 """
 
 from __future__ import annotations
@@ -68,6 +74,7 @@ class SubtractionState:
     last_position: float | None = None
 
     def predict(self, position: float) -> complex:
+        """Extrapolate the correction multiplier to *position* (samples)."""
         if self.last_position is None:
             return self.multiplier
         return self.multiplier * np.exp(
@@ -85,6 +92,7 @@ class PacketAccumulator:
 
     @classmethod
     def empty(cls, n: int) -> "PacketAccumulator":
+        """An all-zeros accumulator for an *n*-symbol packet."""
         return cls(
             soft=np.zeros(n, dtype=complex),
             decisions=np.zeros(n, dtype=complex),
@@ -214,11 +222,14 @@ class ZigZagEngine:
     # Execution
     # ------------------------------------------------------------------
     def run(self, steps: list[DecodeStep]) -> dict[str, PacketAccumulator]:
+        """Execute a full schedule; returns the per-packet accumulators."""
         for step in steps:
             self.execute(step)
         return self.packets
 
     def execute(self, step: DecodeStep) -> None:
+        """Execute one step: decode the chunk, then subtract its image
+        from every capture the packet appears in."""
         packet, c = step.packet, step.collision
         stream = self._get_stream(packet, c, at_cursor=step.i0)
         if stream.cursor != step.i0:

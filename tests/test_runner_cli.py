@@ -1,0 +1,78 @@
+"""The ``python -m repro`` command line: run, sweep, list, overrides."""
+
+import json
+
+import pytest
+
+from repro.runner.cli import main
+
+PAIR_TOML = """
+[scenario]
+kind = "schedule_failure"
+n_trials = 8
+seed = 1
+
+[backoff]
+kind = "fixed"
+cw = 16
+
+[params]
+n_senders = 3
+"""
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.toml"
+    path.write_text(PAIR_TOML)
+    return str(path)
+
+
+class TestCli:
+    def test_run(self, scenario_file, capsys):
+        assert main(["run", scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=schedule_failure" in out
+        assert "failed" in out
+
+    def test_run_json_and_overrides(self, scenario_file, capsys):
+        assert main(["run", scenario_file, "--json", "--trials", "4",
+                     "--seed", "9", "--set", "backoff.cw=8"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_trials"] == 4
+        assert payload["seed"] == 9
+        assert "failed" in payload["metrics"]
+
+    def test_run_parallel_matches_serial(self, scenario_file, capsys):
+        assert main(["run", scenario_file, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["run", scenario_file, "--json", "--workers", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["metrics"] == parallel["metrics"]
+
+    def test_sweep(self, scenario_file, capsys):
+        assert main(["sweep", scenario_file, "--trials", "6",
+                     "--param", "params.n_senders=2,4",
+                     "--metrics", "failed"]) == 0
+        out = capsys.readouterr().out
+        assert "params.n_senders" in out
+        assert out.count("\n") >= 4   # header + rule + two grid rows
+
+    def test_sweep_json(self, scenario_file, capsys):
+        assert main(["sweep", scenario_file, "--json", "--trials", "4",
+                     "--param", "backoff.cw=8:16:8"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["value"] for p in payload["points"]] == [8, 16]
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pair" in out and "schedule_failure" in out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.toml")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_override_is_an_error(self, scenario_file, capsys):
+        assert main(["run", scenario_file, "--set", "nosuch.field=1"]) == 2
+        assert "error" in capsys.readouterr().err
