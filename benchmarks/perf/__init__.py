@@ -1,0 +1,11 @@
+"""Performance-benchmark harness entry point (``python -m benchmarks.perf``).
+
+The implementation lives in :mod:`repro.perf` so the ``repro perf`` CLI
+subcommand can reach it from the installed package; this thin package keeps
+perf runs discoverable next to the paper-figure benchmarks. Requires
+``src/`` on ``PYTHONPATH`` (the Makefile exports it).
+"""
+
+from repro.perf import main, run_perf_suite  # noqa: F401
+
+__all__ = ["main", "run_perf_suite"]

@@ -1,0 +1,6 @@
+"""``python -m benchmarks.perf`` — run the tracked perf suite."""
+
+from repro.perf import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

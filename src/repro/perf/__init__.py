@@ -1,0 +1,12 @@
+"""Tracked performance benchmarks and pre-optimization reference kernels.
+
+``repro.perf.bench`` times every vectorized DSP hot path against the
+original scalar implementation preserved in ``repro.perf.reference`` and
+writes ``BENCH_perf.json``; run it with ``python -m repro perf`` or
+``make perfbench``. See ``docs/performance.md`` for methodology and the
+report schema.
+"""
+
+from repro.perf.bench import main, run_perf_suite, write_report
+
+__all__ = ["main", "run_perf_suite", "write_report"]

@@ -1,0 +1,426 @@
+"""Tracked performance benchmarks for the symbol-rate DSP hot paths.
+
+Two layers:
+
+- **Kernel microbenches** — each optimized kernel timed against its
+  preserved pre-optimization implementation (:mod:`repro.perf.reference`)
+  on identical seeded inputs; reported as ns/symbol (or ns/bit, ns/step)
+  plus the speedup ratio.
+- **End-to-end** — a full hidden-pair ZigZag decode (build collision,
+  schedule, decode forward+backward) in trials/sec, and a single-process
+  :class:`~repro.runner.runner.MonteCarloRunner` sweep over the ``pair``
+  scenario, both before (reference kernels patched in) and after.
+
+``run_perf_suite`` returns the JSON-ready payload; the ``repro perf`` CLI
+subcommand and ``make perfbench`` write it to ``BENCH_perf.json`` at the
+repo root. The schema is documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.perf import reference
+from repro.phy.coding.convolutional import ConvolutionalCode
+from repro.phy.constellation import BPSK
+from repro.phy.correlation import find_correlation_peaks
+from repro.phy.estimation import ChannelEstimate
+from repro.phy.preamble import default_preamble
+from repro.phy.pulse import MatchedSampler, PulseShaper
+from repro.phy.tracking import MuellerMullerTracker, PhaseTracker
+from repro.receiver.frontend import StreamConfig
+from repro.runner.builders import hidden_pair_scenario
+from repro.runner.runner import MonteCarloRunner
+from repro.runner.spec import ScenarioSpec
+from repro.utils.bits import random_bits
+from repro.zigzag.decoder import ZigZagPairDecoder
+from repro.zigzag.reencode import Reencoder
+
+__all__ = ["run_perf_suite", "write_report", "main"]
+
+SCHEMA_VERSION = 1
+DEFAULT_REPORT = "BENCH_perf.json"
+
+
+# ----------------------------------------------------------------------
+# Timing primitives
+# ----------------------------------------------------------------------
+def best_time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-*repeats* wall time of ``fn()`` in seconds (1 warmup run)."""
+    fn()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@dataclass(frozen=True)
+class KernelBench:
+    """One microbenchmark: optimized vs reference on identical inputs."""
+
+    name: str
+    unit: str                       # what n_units counts (symbol, bit, ...)
+    n_units: int
+    run_after: Callable[[], object]
+    run_before: Callable[[], object]
+
+    def measure(self, repeats: int) -> dict:
+        after = best_time(self.run_after, repeats)
+        before = best_time(self.run_before, repeats)
+        return {
+            "unit": self.unit,
+            "n_units": self.n_units,
+            "ns_per_unit_before": before / self.n_units * 1e9,
+            "ns_per_unit_after": after / self.n_units * 1e9,
+            "seconds_before": before,
+            "seconds_after": after,
+            "speedup": before / after if after > 0 else float("inf"),
+        }
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenches (deterministic seeded inputs)
+# ----------------------------------------------------------------------
+def _build_kernel_benches(n_symbols: int) -> list[KernelBench]:
+    rng = np.random.default_rng(20260728)
+    shaper = PulseShaper()
+    sampler = MatchedSampler(shaper)
+    preamble = default_preamble(32)
+    code = ConvolutionalCode()
+
+    # Noisy rotated BPSK segment shared by the tracker benches.
+    clean = BPSK.modulate(rng.integers(0, 2, n_symbols))
+    rotated = clean * np.exp(1j * (0.3 + 2e-3 * np.arange(n_symbols)))
+    noisy = rotated + (rng.normal(scale=0.05, size=n_symbols)
+                       + 1j * rng.normal(scale=0.05, size=n_symbols))
+
+    def tracker_dd_after():
+        PhaseTracker().process(noisy, BPSK)
+
+    def tracker_dd_before():
+        reference.phase_tracker_process(PhaseTracker(), noisy, BPSK)
+
+    def tracker_da_after():
+        PhaseTracker().process(noisy, BPSK, known=clean)
+
+    def tracker_da_before():
+        reference.phase_tracker_process(PhaseTracker(), noisy, BPSK,
+                                        known=clean)
+
+    def tracker_off_after():
+        PhaseTracker(enabled=False, freq=1e-3).process(noisy, BPSK)
+
+    def tracker_off_before():
+        reference.phase_tracker_process(
+            PhaseTracker(enabled=False, freq=1e-3), noisy, BPSK)
+
+    wave = shaper.shape(clean)
+    start = shaper.delay + 0.37
+    # Chunk-sized calls, the shape the stream decoder actually issues
+    # (ZigZag decodes tens-to-hundreds of symbols per chunk, not whole
+    # captures at once).
+    chunk_len = 160
+    n_chunks = max(1, n_symbols // chunk_len)
+
+    def sampler_after():
+        for c in range(n_chunks):
+            sampler.sample(wave, start + c * chunk_len * shaper.sps,
+                           chunk_len)
+
+    def sampler_before():
+        for c in range(n_chunks):
+            reference.matched_sampler_sample(
+                sampler, wave, start + c * chunk_len * shaper.sps,
+                chunk_len)
+
+    info_bits = random_bits(max(64, n_symbols // 2), rng)
+    coded = code.encode(info_bits)
+    soft = (1.0 - 2.0 * coded.astype(float)
+            + rng.normal(scale=0.3, size=coded.size))
+    n_steps = soft.size // code.rate_inverse
+
+    def viterbi_after():
+        code.decode_soft(soft)
+
+    def viterbi_before():
+        reference.convolutional_decode_soft(code, soft)
+
+    encode_bits = random_bits(4 * n_symbols, rng)
+
+    def encode_after():
+        code.encode(encode_bits)
+
+    def encode_before():
+        reference.convolutional_encode(code, encode_bits)
+
+    decisions = BPSK.slice_symbols(noisy)
+
+    def mm_after():
+        MuellerMullerTracker().process(noisy, decisions)
+
+    def mm_before():
+        reference.mueller_muller_process(MuellerMullerTracker(), noisy,
+                                         decisions)
+
+    chunk = clean[:min(256, n_symbols)]
+    estimate = ChannelEstimate(gain=1.4 * np.exp(0.5j), freq_offset=2e-4,
+                               sampling_offset=0.37, snr_db=12.0)
+
+    def _fresh_reencoder() -> Reencoder:
+        return Reencoder(shaper=shaper, estimate=estimate, start=41.37)
+
+    reenc_after = _fresh_reencoder()
+    reenc_before = _fresh_reencoder()
+
+    def reencode_after():
+        reenc_after.image(chunk, 16)
+
+    def reencode_before():
+        reference.reencoder_image(reenc_before, chunk, 16)
+
+    # Satellite: single-pass correlation peak finding, against the
+    # verbatim pre-PR implementation preserved in repro.perf.reference.
+    signal = np.concatenate([
+        np.zeros(50, complex),
+        shaper.shape(preamble.symbols),
+        np.zeros(max(0, n_symbols - 50), complex),
+    ]) + (rng.normal(scale=0.1, size=50 + shaper.waveform_length(
+        len(preamble)) + max(0, n_symbols - 50))
+        + 1j * rng.normal(scale=0.1, size=50 + shaper.waveform_length(
+            len(preamble)) + max(0, n_symbols - 50)))
+
+    def peaks_after():
+        find_correlation_peaks(signal, preamble, threshold=0.3)
+
+    def peaks_before():
+        reference.find_correlation_peaks(signal, preamble, threshold=0.3)
+
+    return [
+        KernelBench("phase_tracker_decision_directed", "symbol", n_symbols,
+                    tracker_dd_after, tracker_dd_before),
+        KernelBench("phase_tracker_data_aided", "symbol", n_symbols,
+                    tracker_da_after, tracker_da_before),
+        KernelBench("phase_tracker_disabled", "symbol", n_symbols,
+                    tracker_off_after, tracker_off_before),
+        KernelBench("matched_sampler", "symbol", n_chunks * chunk_len,
+                    sampler_after, sampler_before),
+        KernelBench("viterbi_decode_soft", "trellis_step", n_steps,
+                    viterbi_after, viterbi_before),
+        KernelBench("convolutional_encode", "bit", encode_bits.size,
+                    encode_after, encode_before),
+        KernelBench("mueller_muller", "symbol", n_symbols,
+                    mm_after, mm_before),
+        KernelBench("reencoder_image", "symbol", chunk.size,
+                    reencode_after, reencode_before),
+        KernelBench("find_correlation_peaks", "sample", signal.size,
+                    peaks_after, peaks_before),
+    ]
+
+
+# ----------------------------------------------------------------------
+# End-to-end benches
+# ----------------------------------------------------------------------
+def _decode_outcome_fingerprint(seed: int, payload_bits: int) -> dict:
+    """One full trial: synthesize a hidden-terminal collision pair, run
+    the complete ZigZag decode (forward + backward + MRC), and return the
+    per-packet outcome — the golden-equivalence test compares these
+    fingerprints bit-for-bit across kernel implementations."""
+    rng = np.random.default_rng(seed)
+    preamble = default_preamble(32)
+    shaper = PulseShaper()
+    config = StreamConfig(preamble=preamble, shaper=shaper, noise_power=1.0)
+    captures, frames, specs, placements = hidden_pair_scenario(
+        rng, preamble, shaper, snr_db=12.0, payload_bits=payload_bits,
+        noise_power=1.0)
+    outcome = ZigZagPairDecoder(config, use_backward=True).decode(
+        [c.samples for c in captures], specs, placements)
+    return {name: {"success": outcome.results[name].success,
+                   "bits": np.array(outcome.results[name].bits, copy=True)}
+            for name in frames}
+
+
+def _decode_hidden_pair_trial(seed: int, payload_bits: int) -> bool:
+    result = _decode_outcome_fingerprint(seed, payload_bits)
+    return all(row["success"] for row in result.values())
+
+
+def _interleaved_best(fn, repeats: int) -> tuple[float, float]:
+    """Best-of-*repeats* wall times of ``fn`` with optimized and reference
+    kernels, alternating per round so transient machine load hits both
+    measurements equally instead of biasing the ratio."""
+    fn()  # warmup, optimized paths
+    with reference.use_reference_kernels():
+        fn()  # warmup, reference paths
+    after = before = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        after = min(after, time.perf_counter() - t0)
+        with reference.use_reference_kernels():
+            t0 = time.perf_counter()
+            fn()
+            before = min(before, time.perf_counter() - t0)
+    return before, after
+
+
+def _bench_end_to_end(n_trials: int, payload_bits: int,
+                      repeats: int = 2) -> dict:
+    def run_trials():
+        for i in range(n_trials):
+            _decode_hidden_pair_trial(7000 + i, payload_bits)
+
+    before, after = _interleaved_best(run_trials, repeats)
+    return {
+        "scenario": "hidden_pair_decode",
+        "n_trials": n_trials,
+        "payload_bits": payload_bits,
+        "trials_per_sec_before": n_trials / before,
+        "trials_per_sec_after": n_trials / after,
+        "seconds_before": before,
+        "seconds_after": after,
+        "speedup": before / after if after > 0 else float("inf"),
+    }
+
+
+def _bench_runner_sweep(n_trials: int, repeats: int = 2) -> dict:
+    """Time a single-process MonteCarloRunner sweep on the pair scenario.
+
+    ``n_workers=1`` keeps execution inline so the reference-kernel patch
+    reaches every trial (and removes process fan-out noise from the
+    measurement).
+    """
+    spec = ScenarioSpec(kind="pair", design="zigzag", n_trials=n_trials,
+                        seed=3, payload_bits=120, n_packets=2,
+                        max_rounds=2, params={"snr_db": 12.0})
+    runner = MonteCarloRunner(n_workers=1)
+    values = [8.0, 12.0]
+
+    def run_sweep():
+        runner.sweep(spec, "snr_db", values)
+
+    before, after = _interleaved_best(run_sweep, repeats)
+    total_trials = n_trials * len(values)
+    return {
+        "scenario": "pair_sweep",
+        "param": "snr_db",
+        "points": values,
+        "trials_per_point": n_trials,
+        "trials_per_sec_before": total_trials / before,
+        "trials_per_sec_after": total_trials / after,
+        "seconds_before": before,
+        "seconds_after": after,
+        "speedup": before / after if after > 0 else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+def run_perf_suite(smoke: bool = False) -> dict:
+    """Run every benchmark; returns the ``BENCH_perf.json`` payload.
+
+    ``smoke`` shrinks sizes/repeats to a few seconds total — used by CI to
+    keep the harness itself from rotting, not for tracked numbers.
+    """
+    n_symbols = 512 if smoke else 8192
+    repeats = 1 if smoke else 3
+    e2e_trials = 1 if smoke else 6
+    sweep_trials = 1 if smoke else 2
+
+    kernels = {}
+    for bench in _build_kernel_benches(n_symbols):
+        kernels[bench.name] = bench.measure(repeats)
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "generated_unix": time.time(),
+        "profile": "smoke" if smoke else "full",
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": {
+            "n_symbols": n_symbols,
+            "repeats": repeats,
+            "end_to_end_trials": e2e_trials,
+            "sweep_trials_per_point": sweep_trials,
+        },
+        "kernels": kernels,
+        "end_to_end": _bench_end_to_end(
+            e2e_trials, payload_bits=96 if smoke else 240,
+            repeats=1 if smoke else 4),
+        "runner_sweep": _bench_runner_sweep(sweep_trials,
+                                            repeats=1 if smoke else 4),
+    }
+    return payload
+
+
+def write_report(payload: dict, path: str = DEFAULT_REPORT) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_summary(payload: dict) -> str:
+    lines = [f"perf profile={payload['profile']} "
+             f"(n_symbols={payload['config']['n_symbols']}, "
+             f"repeats={payload['config']['repeats']})"]
+    lines.append(f"{'kernel':<34} {'before':>12} {'after':>12} "
+                 f"{'speedup':>8}")
+    for name, row in sorted(payload["kernels"].items()):
+        unit = f"ns/{row['unit']}"
+        lines.append(
+            f"{name:<34} {row['ns_per_unit_before']:>9.0f} {unit:<3}"
+            f" {row['ns_per_unit_after']:>8.0f} {unit:<3}"
+            f" {row['speedup']:>7.1f}x")
+    e2e = payload["end_to_end"]
+    lines.append(
+        f"{'end_to_end ' + e2e['scenario']:<34} "
+        f"{e2e['trials_per_sec_before']:>9.2f} t/s "
+        f"{e2e['trials_per_sec_after']:>8.2f} t/s "
+        f"{e2e['speedup']:>7.1f}x")
+    sweep = payload["runner_sweep"]
+    lines.append(
+        f"{'runner_sweep ' + sweep['scenario']:<34} "
+        f"{sweep['trials_per_sec_before']:>9.2f} t/s "
+        f"{sweep['trials_per_sec_after']:>8.2f} t/s "
+        f"{sweep['speedup']:>7.1f}x")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (also reachable as ``repro perf``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Benchmark the DSP hot paths against their "
+                    "pre-optimization reference implementations.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes; exercises the harness only")
+    parser.add_argument("--out", default=DEFAULT_REPORT,
+                        help=f"report path (default {DEFAULT_REPORT})")
+    parser.add_argument("--json", action="store_true",
+                        help="print the payload as JSON instead of a table")
+    args = parser.parse_args(argv)
+    payload = run_perf_suite(smoke=args.smoke)
+    write_report(payload, args.out)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_summary(payload))
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,6 +107,14 @@ class Channel:
 
     params: ChannelParams
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    # Built lazily: sinc-kernel design costs more than applying it, and
+    # the offset is quasi-static across a channel's lifetime.
+    _delay: FractionalDelay | None = field(default=None, repr=False)
+
+    def _fractional_delay(self) -> FractionalDelay:
+        if self._delay is None or self._delay.delay != self.params.sampling_offset:
+            self._delay = FractionalDelay(self.params.sampling_offset)
+        return self._delay
 
     def apply(self, symbols, start_sample: int = 0) -> np.ndarray:
         """Propagate *symbols* through the channel.
@@ -126,7 +134,7 @@ class Channel:
             out = out * (1.0 + p.tx_evm / np.sqrt(2.0) * distortion)
         out = p.isi_filter().apply(out)
         if p.sampling_offset != 0.0:
-            out = FractionalDelay(p.sampling_offset).apply(out)
+            out = self._fractional_delay().apply(out)
         n = np.arange(start_sample, start_sample + out.size, dtype=float)
         phase_ramp = np.exp(2j * np.pi * p.freq_offset * n)
         out = p.gain * out * phase_ramp
@@ -149,6 +157,6 @@ class Channel:
         p = self.params
         out = p.isi_filter().apply(x)
         if p.sampling_offset != 0.0:
-            out = FractionalDelay(p.sampling_offset).apply(out)
+            out = self._fractional_delay().apply(out)
         n = np.arange(start_sample, start_sample + out.size, dtype=float)
         return p.gain * out * np.exp(2j * np.pi * p.freq_offset * n)

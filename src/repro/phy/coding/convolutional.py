@@ -4,6 +4,12 @@ The 802.11 mother code: constraint length K=7, rate 1/2, generator
 polynomials 133 and 171 (octal). The decoder runs the textbook Viterbi
 algorithm with either Hamming (hard bits) or Euclidean (soft BPSK values)
 branch metrics, with full traceback after zero-tail termination.
+
+Hot-path note: the add-compare-select runs vectorized across all states per
+trellis step using predecessor/branch gather tables precomputed at
+construction; the encoder is a pair of integer convolutions (output g is
+``(data ⊛ taps_g) mod 2``). Only the traceback — an inherently sequential
+pointer chase — remains a Python loop.
 """
 
 from __future__ import annotations
@@ -60,7 +66,9 @@ class ConvolutionalCode:
         return 1 << (self.constraint_length - 1)
 
     def _build_trellis(self) -> None:
-        """Precompute next-state and output tables for every (state, bit)."""
+        """Precompute next-state and output tables for every (state, bit),
+        plus the inverse (predecessor) view the vectorized ACS gathers
+        through."""
         k = self.constraint_length
         n_states = self.n_states
         n_out = self.rate_inverse
@@ -74,26 +82,59 @@ class ConvolutionalCode:
                     dtype=np.uint8)
                 self._next_state[state, bit] = register >> 1
                 self._outputs[state, bit] = (self._taps @ window) % 2
+        # Predecessor tables: each next-state has exactly two incoming
+        # branches; column 0 holds the one encountered first in (state,
+        # bit) lexicographic order, which the select below favours on
+        # ties — the same tie-break a scalar "strictly greater" update
+        # loop produces.
+        prev_state = np.zeros((n_states, 2), dtype=np.int64)
+        prev_bit = np.zeros((n_states, 2), dtype=np.int64)
+        fill = np.zeros(n_states, dtype=np.int64)
+        for state in range(n_states):
+            for bit in range(2):
+                nxt = int(self._next_state[state, bit])
+                prev_state[nxt, fill[nxt]] = state
+                prev_bit[nxt, fill[nxt]] = bit
+                fill[nxt] += 1
+        # Flat gather indexes into a (S*2,) branch-metric vector, stacked
+        # [column 0 | column 1] so the ACS loop touches each array once:
+        # one take, one add, then compare/select the two halves. Only
+        # these decode-time layouts are kept on the instance.
+        branch_gather = prev_state * 2 + prev_bit
+        self._pred_stacked = np.ascontiguousarray(
+            np.concatenate([prev_state[:, 0], prev_state[:, 1]]))
+        self._gather_stacked = np.ascontiguousarray(
+            np.concatenate([branch_gather[:, 0], branch_gather[:, 1]]))
+        self._prev_state_flat = prev_state.ravel().tolist()
+        self._prev_bit_flat = prev_bit.ravel().tolist()
+        # Expected +/-1 outputs, flattened so all branch metrics for all
+        # steps come from one matmul.
+        expected = 1.0 - 2.0 * self._outputs.astype(float)  # (S, 2, n)
+        self._expected_t = expected.reshape(n_states * 2, n_out).T.copy()
 
     # ------------------------------------------------------------------
     def encode(self, bits, terminate: bool = True) -> np.ndarray:
         """Encode *bits*; with ``terminate`` a zero tail flushes the state.
 
         Output length is ``rate_inverse * (len(bits) + K - 1)`` when
-        terminated.
+        terminated. Because the code is feed-forward from the all-zero
+        state, output stream g is simply the mod-2 convolution of the data
+        with generator g's taps — no per-bit state walk needed.
         """
         data = as_bit_array(bits)
         if terminate:
             data = np.concatenate([
                 data, np.zeros(self.constraint_length - 1, dtype=np.uint8)
             ])
-        out = np.empty(data.size * self.rate_inverse, dtype=np.uint8)
-        state = 0
-        for i, bit in enumerate(data):
-            out[i * self.rate_inverse:(i + 1) * self.rate_inverse] = \
-                self._outputs[state, bit]
-            state = self._next_state[state, bit]
-        return out
+        if data.size == 0:
+            return np.zeros(0, dtype=np.uint8)
+        n_out = self.rate_inverse
+        wide = data.astype(np.int64)
+        out = np.empty((data.size, n_out), dtype=np.uint8)
+        for g in range(n_out):
+            conv = np.convolve(wide, self._taps[g].astype(np.int64))
+            out[:, g] = conv[:data.size] & 1
+        return out.reshape(-1)
 
     # ------------------------------------------------------------------
     def decode_hard(self, coded, terminated: bool = True) -> np.ndarray:
@@ -122,33 +163,49 @@ class ConvolutionalCode:
             return np.zeros(0, dtype=np.uint8)
         n_states = self.n_states
 
-        # Branch metric: correlation of expected (+/-1) with received.
-        expected = 1.0 - 2.0 * self._outputs.astype(float)  # (S, 2, n)
+        # All branch metrics for all steps in one matmul, then gathered
+        # into stacked [column 0 | column 1] layout up front:
+        # branch_all[t, s*2 + b] = expected[s, b] . values[t].
+        branch_all = values.reshape(n_steps, n_out) @ self._expected_t
+        branch_stacked = np.ascontiguousarray(
+            branch_all[:, self._gather_stacked])
+
         metrics = np.full(n_states, -np.inf)
         metrics[0] = 0.0
-        survivors = np.zeros((n_steps, n_states), dtype=np.int8)
-        predecessors = np.zeros((n_steps, n_states), dtype=np.int64)
-
-        for step in range(n_steps):
-            block = values[step * n_out:(step + 1) * n_out]
-            branch = expected @ block              # (S, 2)
-            candidate = metrics[:, None] + branch  # (S, 2)
-            new_metrics = np.full(n_states, -np.inf)
-            for state in range(n_states):
-                for bit in range(2):
-                    nxt = self._next_state[state, bit]
-                    score = candidate[state, bit]
-                    if score > new_metrics[nxt]:
-                        new_metrics[nxt] = score
-                        survivors[step, nxt] = bit
-                        predecessors[step, nxt] = state
-            metrics = new_metrics
+        cand = np.empty(2 * n_states)
+        cand0 = cand[:n_states]
+        cand1 = cand[n_states:]
+        # take_second[t, n] records which of next-state n's two incoming
+        # branches won step t; the (bit, predecessor) pair is reconstructed
+        # from the trellis tables during traceback, so the ACS loop is just
+        # one gather, one add, a compare, and a max per step.
+        take_second = np.empty((n_steps, n_states), dtype=bool)
+        pred = self._pred_stacked
+        # `metrics` is updated in place, so the bound take stays valid;
+        # binding it (and iterating rows via zip) strips the per-step
+        # numpy dispatch wrappers from the only sequential loop left.
+        gather_metrics = metrics.take
+        add = np.add
+        greater = np.greater
+        maximum = np.maximum
+        for row, flags in zip(branch_stacked, take_second):
+            gather_metrics(pred, out=cand)
+            add(cand, row, out=cand)
+            # Strict >: ties keep the branch encountered first in (state,
+            # bit) order, matching a scalar best-so-far update.
+            greater(cand1, cand0, out=flags)
+            maximum(cand0, cand1, out=metrics)
 
         state = 0 if terminated else int(np.argmax(metrics))
-        decoded = np.empty(n_steps, dtype=np.uint8)
+        prev_state = self._prev_state_flat
+        prev_bit = self._prev_bit_flat
+        decoded_list = [0] * n_steps
+        winners = take_second.tobytes()  # one byte per (step, state) flag
         for step in range(n_steps - 1, -1, -1):
-            decoded[step] = survivors[step, state]
-            state = predecessors[step, state]
+            j = state + state + winners[step * n_states + state]
+            decoded_list[step] = prev_bit[j]
+            state = prev_state[j]
+        decoded = np.array(decoded_list, dtype=np.uint8)
         if terminated:
             decoded = decoded[:n_steps - (self.constraint_length - 1)]
         return decoded

@@ -45,6 +45,15 @@ def sliding_correlation(signal, preamble: Preamble,
     return np.correlate(y, reference, mode="valid")
 
 
+def _normalize_correlation(abs_corr: np.ndarray, signal: np.ndarray,
+                           preamble: Preamble) -> np.ndarray:
+    """Scale |Γ'(Δ)| to [0, 1] by preamble and local signal energy."""
+    length = len(preamble)
+    energy = np.convolve(np.abs(signal) ** 2, np.ones(length), mode="valid")
+    denom = np.sqrt(preamble.energy * np.maximum(energy, 1e-30))
+    return abs_corr / denom
+
+
 def normalized_sliding_correlation(signal, preamble: Preamble,
                                    freq_offset: float = 0.0) -> np.ndarray:
     """|Γ'(Δ)| normalized to [0, 1] by preamble and local signal energy.
@@ -55,10 +64,7 @@ def normalized_sliding_correlation(signal, preamble: Preamble,
     """
     y = np.asarray(signal, dtype=complex).ravel()
     corr = sliding_correlation(y, preamble, freq_offset)
-    length = len(preamble)
-    energy = np.convolve(np.abs(y) ** 2, np.ones(length), mode="valid")
-    denom = np.sqrt(preamble.energy * np.maximum(energy, 1e-30))
-    return np.abs(corr) / denom
+    return _normalize_correlation(np.abs(corr), y, preamble)
 
 
 @dataclass(frozen=True)
@@ -111,8 +117,12 @@ def find_correlation_peaks(signal, preamble: Preamble, *,
     """
     if not 0.0 < threshold <= 1.0:
         raise ConfigurationError("threshold must lie in (0, 1]")
-    corr = sliding_correlation(signal, preamble, freq_offset)
-    scores = normalized_sliding_correlation(signal, preamble, freq_offset)
+    y = np.asarray(signal, dtype=complex).ravel()
+    # One correlation pass serves both the raw peak values and the
+    # normalized scores (it used to be computed twice).
+    corr = sliding_correlation(y, preamble, freq_offset)
+    abs_corr = np.abs(corr)
+    scores = _normalize_correlation(abs_corr, y, preamble)
     separation = min_separation if min_separation is not None else len(preamble)
 
     candidates = np.flatnonzero(scores >= threshold)
@@ -126,7 +136,7 @@ def find_correlation_peaks(signal, preamble: Preamble, *,
         lo = max(0, idx - separation)
         hi = min(scores.size, idx + separation + 1)
         used[lo:hi] = True
-        fine = refine_peak_position(np.abs(corr), int(idx))
+        fine = refine_peak_position(abs_corr, int(idx))
         peaks.append(CorrelationPeak(
             position=int(idx),
             fine_offset=fine,

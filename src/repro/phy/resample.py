@@ -122,17 +122,11 @@ class FractionalDelay:
         sig = np.asarray(signal, dtype=complex).ravel()
         if sig.size == 0:
             return sig
-        # Fractional part via windowed-sinc FIR. np.convolve(sig, taps)
-        # with taps indexed k=-W..W yields the correlation-style sum we
-        # want after flipping; build explicitly for clarity.
+        # Fractional part via windowed-sinc FIR:
+        # out[n] = sum_k taps[k+W] * x[n + k], i.e. a correlation — one
+        # "same"-style convolution against the flipped taps.
         w = self.half_width
-        padded = np.concatenate([
-            np.zeros(w, dtype=complex), sig, np.zeros(w, dtype=complex)
-        ])
-        out = np.zeros(sig.size, dtype=complex)
-        # out[n] = sum_k taps[k+W] * x[n + k]
-        for offset, tap in zip(range(-w, w + 1), self._taps):
-            out += tap * padded[w + offset: w + offset + sig.size]
+        out = np.convolve(sig, self._taps[::-1])[w: w + sig.size]
         # Integer part: shift right (later) by int_delay samples.
         if self._int_delay > 0:
             out = np.concatenate([

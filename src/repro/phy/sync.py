@@ -42,6 +42,7 @@ class Synchronizer:
             raise ConfigurationError("threshold must lie in (0, 1]")
         self._waveform = self.shaper.shape(self.preamble.symbols)
         self._sampler = MatchedSampler(self.shaper)
+        self._score_refs: dict[float, np.ndarray] = {}
 
     @property
     def reference_energy(self) -> float:
@@ -62,15 +63,18 @@ class Synchronizer:
         reference = self._waveform * np.exp(2j * np.pi * coarse_freq * n)
         return np.correlate(y, reference, mode="valid")
 
-    def correlation_scores(self, signal,
-                           coarse_freq: float = 0.0) -> np.ndarray:
-        """Normalized |correlation| in [0, 1] for thresholding."""
-        y = np.asarray(signal, dtype=complex).ravel()
-        corr = self.correlate(y, coarse_freq)
+    def _normalize_scores(self, corr: np.ndarray,
+                          y: np.ndarray) -> np.ndarray:
         window = self._waveform.size
         energy = np.convolve(np.abs(y) ** 2, np.ones(window), mode="valid")
         denom = np.sqrt(self.reference_energy * np.maximum(energy, 1e-30))
         return np.abs(corr) / denom
+
+    def correlation_scores(self, signal,
+                           coarse_freq: float = 0.0) -> np.ndarray:
+        """Normalized |correlation| in [0, 1] for thresholding."""
+        y = np.asarray(signal, dtype=complex).ravel()
+        return self._normalize_scores(self.correlate(y, coarse_freq), y)
 
     def detect(self, signal, coarse_freq: float = 0.0,
                max_peaks: int | None = None,
@@ -83,8 +87,10 @@ class Synchronizer:
         it must stay well below a backoff slot so closely-jittered
         colliding packets still register separately.
         """
-        corr = self.correlate(signal, coarse_freq)
-        scores = self.correlation_scores(signal, coarse_freq)
+        y = np.asarray(signal, dtype=complex).ravel()
+        # One correlation pass serves both the peak values and the scores.
+        corr = self.correlate(y, coarse_freq)
+        scores = self._normalize_scores(corr, y)
         separation = min_separation
         candidates = np.flatnonzero(scores >= self.threshold)
         used = np.zeros(scores.size, dtype=bool)
@@ -111,11 +117,26 @@ class Synchronizer:
     # ------------------------------------------------------------------
     def _preamble_score(self, signal, start: float,
                         coarse_freq: float) -> float:
+        """|correlation| of the matched-filtered symbols against the
+        derotated preamble.
+
+        The ``exp(-2jπ f start)`` phase common to every term has unit
+        modulus and cannot change the score, so the derotated reference
+        depends only on ``coarse_freq`` — cached across the (many) calls
+        the fractional-offset grid search makes per acquisition.
+        """
         symbols = self._sampler.sample(signal, start, len(self.preamble))
-        k = np.arange(len(self.preamble))
-        rot = np.exp(-2j * np.pi * coarse_freq *
-                     (start + self.shaper.sps * k))
-        return abs(np.sum(np.conj(self.preamble.symbols) * symbols * rot))
+        reference = self._score_refs.get(coarse_freq)
+        if reference is None:
+            if len(self._score_refs) >= 1024:
+                # Synchronizers are shared across trials and every trial
+                # estimates a fresh coarse frequency; bound the cache.
+                self._score_refs.clear()
+            k = np.arange(len(self.preamble))
+            reference = self.preamble.symbols * np.exp(
+                2j * np.pi * coarse_freq * self.shaper.sps * k)
+            self._score_refs[coarse_freq] = reference
+        return abs(complex(np.vdot(reference, symbols)))
 
     def refine_start(self, signal, position: int, *,
                      coarse_freq: float = 0.0, span: float = 0.8,

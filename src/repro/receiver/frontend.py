@@ -16,6 +16,8 @@ feeds it the zigzag chunk schedule. Both paths run the identical DSP.
 
 from __future__ import annotations
 
+import cmath
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -117,6 +119,7 @@ class SymbolStreamDecoder:
         self._preamble_len = len(config.preamble) if data_aided_preamble else 0
         self._pre_acc = np.full(self._preamble_len, np.nan + 0j, dtype=complex)
         self._refined = not data_aided_preamble
+        self._derotate_powers: dict[float, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Region bookkeeping
@@ -148,13 +151,28 @@ class SymbolStreamDecoder:
         return self.sampler.sample(signal, self.start + sps * i0, i1 - i0)
 
     def _static_derotate(self, raw: np.ndarray, i0: int) -> np.ndarray:
-        """Remove the static channel model: gain and frequency-offset ramp."""
+        """Remove the static channel model: gain and frequency-offset ramp.
+
+        The ramp is geometric in the symbol index, so its per-symbol
+        rotation powers are cached per frequency estimate (it changes at
+        most once, at preamble refinement) and each chunk costs one scalar
+        rotation plus one vector multiply instead of fresh trigonometry.
+        """
         est = self.estimate
         sps = self.config.shaper.sps
-        n = self.start + sps * np.arange(i0, i0 + raw.size)
-        ramp = np.exp(-2j * np.pi * est.freq_offset * n)
         gain = est.gain if est.gain != 0 else 1e-12
-        return raw * ramp / gain
+        freq = est.freq_offset
+        powers = self._derotate_powers.get(freq)
+        if powers is None or powers.size < raw.size:
+            capacity = max(raw.size, 64,
+                           0 if powers is None else 2 * powers.size)
+            steps = np.full(capacity,
+                            cmath.exp(-2j * math.pi * freq * sps))
+            steps[0] = 1.0 + 0j
+            powers = np.cumprod(steps)
+            self._derotate_powers[freq] = powers
+        rot0 = cmath.exp(-2j * math.pi * freq * (self.start + sps * i0))
+        return raw * (powers[:raw.size] * (rot0 / gain))
 
     def decode_chunk(self, signal, i1: int) -> ChunkDecode:
         """Decode symbols ``[cursor, i1)`` from an interference-free signal.
@@ -168,7 +186,12 @@ class SymbolStreamDecoder:
             raise ConfigurationError(
                 f"chunk end {i1} must exceed cursor {i0}"
             )
-        guard = self.config.edge_guard if self.config.use_equalizer else 0
+        # The guard region only feeds the equalizer's FIR edges; when no
+        # equalizer has been trained (clean channels at moderate SNR) the
+        # guard symbols would be sampled, derotated, and sliced away.
+        guard = self.config.edge_guard \
+            if self.config.use_equalizer and self.equalizer is not None \
+            else 0
         lo = max(0, i0 - guard)
         raw = self._interpolate(np.asarray(signal, dtype=complex), lo, i1 + guard)
         z = self._static_derotate(raw, lo)

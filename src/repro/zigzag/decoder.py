@@ -213,22 +213,25 @@ class ZigZagPairDecoder:
         for start in range(0, n, block):
             sl = slice(start, min(start + block, n))
             dec = forward_decisions[sl]
-            denom = np.sum(np.abs(dec) ** 2)
+            denom = float(np.vdot(dec, dec).real)
             if denom <= 0:
                 continue
-            rho = np.vdot(dec, backward_soft[sl]) / denom
-            if abs(rho) < 1e-9:
+            rho = complex(np.vdot(dec, backward_soft[sl])) / denom
+            abs_rho = abs(rho)
+            if abs_rho < 1e-9:
                 continue
-            aligned[sl] = backward_soft[sl] * np.exp(-1j * np.angle(rho))
-            agreement = float(min(abs(rho), 1.0))
-            if agreement < min_agreement:
+            # exp(-1j*angle(rho)) == conj(rho)/|rho| without trig calls.
+            aligned[sl] = backward_soft[sl] * (rho.conjugate() / abs_rho)
+            if min(abs_rho, 1.0) < min_agreement:
                 continue
-            var_f = float(np.mean(np.abs(forward_soft[sl] - dec) ** 2))
-            var_b = float(np.mean(np.abs(aligned[sl] - dec) ** 2))
+            diff_f = forward_soft[sl] - dec
+            diff_b = aligned[sl] - dec
+            var_f = float(np.vdot(diff_f, diff_f).real)
+            var_b = float(np.vdot(diff_b, diff_b).real)
             if var_b <= 0:
                 weights[sl] = 1.0
             else:
-                weights[sl] = float(np.clip(var_f / var_b, 0.0, 1.0))
+                weights[sl] = min(max(var_f / var_b, 0.0), 1.0)
         return aligned, weights
 
     def _final_estimate(self, engine: ZigZagEngine,

@@ -30,6 +30,7 @@ aggregated statistics — use the :mod:`repro.runner` subsystem
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -77,8 +78,8 @@ class SubtractionState:
         """Extrapolate the correction multiplier to *position* (samples)."""
         if self.last_position is None:
             return self.multiplier
-        return self.multiplier * np.exp(
-            1j * self.freq * (position - self.last_position))
+        angle = self.freq * (position - self.last_position)
+        return self.multiplier * complex(math.cos(angle), math.sin(angle))
 
 
 @dataclass
@@ -154,6 +155,23 @@ class ZigZagEngine:
             name: PacketAccumulator.empty(spec.n_symbols)
             for name, spec in specs.items()
         }
+        # Scratch buffers reused across chunk decodes (hot path): an
+        # arange for the correction-loop phase ramps and one capture-sized
+        # buffer per collision for the local residual+image view.
+        self._arange_scratch = np.arange(256, dtype=float)
+        self._local_scratch: dict[int, np.ndarray] = {}
+
+    def _centered_offsets(self, i0: int, i1: int) -> np.ndarray:
+        """``arange(i0, i1) - (i0 + i1)/2`` without a fresh allocation.
+
+        Both terms are exact in floating point (integers and integer
+        halves), so this matches the naive expression bit-for-bit.
+        """
+        n = i1 - i0
+        if self._arange_scratch.size < n:
+            self._arange_scratch = np.arange(
+                max(n, 2 * self._arange_scratch.size), dtype=float)
+        return self._arange_scratch[:n] + (0.5 * (i0 - i1))
 
     # ------------------------------------------------------------------
     # Lazily-built helpers
@@ -237,8 +255,14 @@ class ZigZagEngine:
                 f"step {step} does not continue stream cursor "
                 f"{stream.cursor}")
         # Local view: residual plus this packet's own already-subtracted
-        # image (other packets' images stay subtracted).
-        local = self.residual[c] + self.images[(packet, c)]
+        # image (other packets' images stay subtracted). The stream only
+        # reads from it during the call, so one scratch buffer per capture
+        # serves every step.
+        local = self._local_scratch.get(c)
+        if local is None:
+            local = np.empty_like(self.residual[c])
+            self._local_scratch[c] = local
+        np.add(self.residual[c], self.images[(packet, c)], out=local)
         chunk = stream.decode_chunk(local, step.i1)
 
         acc = self.packets[packet]
@@ -269,9 +293,14 @@ class ZigZagEngine:
             sps = self.config.shaper.sps
             center = reencoder.start + sps * 0.5 * (chunk.i0 + chunk.i1)
             predicted = sub.predict(center)
-            effective = chunk.decisions * predicted * np.exp(
-                1j * sub.freq * sps
-                * (np.arange(chunk.i0, chunk.i1) - 0.5 * (chunk.i0 + chunk.i1)))
+            if sub.freq == 0.0:
+                # No measured residual frequency yet (or none): the
+                # intra-chunk ramp is all-ones, skip building it.
+                effective = chunk.decisions * predicted
+            else:
+                effective = chunk.decisions * predicted * np.exp(
+                    1j * sub.freq * sps
+                    * self._centered_offsets(chunk.i0, chunk.i1))
             segment, base = reencoder.image(effective, chunk.i0)
             if self.measure_correction:
                 correction = self._measure_and_update(
@@ -293,33 +322,40 @@ class ZigZagEngine:
         if lo < 0 or hi > residual.size or hi <= lo:
             return 1.0
         seg_core = segment[core]
-        denom = float(np.sum(np.abs(seg_core) ** 2))
+        # Scalar reductions via vdot (|x|^2 summed in one C call); the rest
+        # of the update is pure-float arithmetic — this runs once per
+        # chunk per subtract-only placement, hot enough that numpy scalar
+        # ufunc boxing used to dominate it.
+        denom = float(np.vdot(seg_core, seg_core).real)
         noise_floor = self.config.noise_power * (hi - lo)
         if denom < 4.0 * noise_floor:
             return 1.0  # too weak to measure against interference+noise
         window = residual[lo:hi]
-        rho = complex(np.vdot(seg_core, window) / denom)
+        rho = complex(np.vdot(seg_core, window)) / denom
         # Contamination-adaptive gain: the measurement window still holds
         # the other (not yet subtracted) packet plus noise, whose power we
         # can estimate as the excess of the window over our own prediction.
         own_power = denom / (hi - lo)
-        window_power = float(np.mean(np.abs(window) ** 2))
-        contamination = max(window_power - own_power * abs(rho) ** 2, 0.0)
+        window_power = float(np.vdot(window, window).real) / (hi - lo)
+        abs_rho = abs(rho)
+        contamination = max(window_power - own_power * abs_rho * abs_rho,
+                            0.0)
         measurement_var = contamination / max(denom, 1e-30)
         prior_var = 0.02  # typical squared relative error of the estimates
         gain = self.correction_alpha * prior_var / (prior_var
                                                     + measurement_var)
-        magnitude = float(np.clip(abs(rho), 0.5, 2.0))
-        angle = float(np.angle(rho))
-        correction = (magnitude ** gain) * np.exp(1j * gain * angle)
+        magnitude = min(max(abs_rho, 0.5), 2.0)
+        angle = math.atan2(rho.imag, rho.real)
+        scaled = gain * angle
+        correction = (magnitude ** gain) * complex(math.cos(scaled),
+                                                   math.sin(scaled))
         sub.multiplier = predicted * correction
         if sub.last_position is not None:
             dt = center - sub.last_position
             if dt > 0:
                 max_step = 0.1 / dt
-                sub.freq += float(np.clip(
-                    self.correction_beta * gain * angle / dt,
-                    -max_step, max_step))
+                step = self.correction_beta * gain * angle / dt
+                sub.freq += min(max(step, -max_step), max_step)
         sub.last_position = center
         return correction
 
