@@ -31,6 +31,20 @@ from repro.phy.noise import (
 )
 from repro.phy.resample import FractionalDelay, sinc_interpolate
 from repro.phy.isi import IsiFilter, default_isi_taps, invert_fir
+from repro.phy.impairments import (
+    AdcQuantizer,
+    BurstNoise,
+    CwTone,
+    DcOffset,
+    ImpairmentPipeline,
+    IqImbalance,
+    RayleighFading,
+    RicianFading,
+    SfoDrift,
+    SoftClipper,
+    available_impairments,
+    make_impairment,
+)
 from repro.phy.channel import Channel, ChannelParams
 from repro.phy.correlation import (
     CorrelationPeak,
@@ -75,6 +89,18 @@ __all__ = [
     "IsiFilter",
     "default_isi_taps",
     "invert_fir",
+    "ImpairmentPipeline",
+    "RayleighFading",
+    "RicianFading",
+    "SfoDrift",
+    "SoftClipper",
+    "AdcQuantizer",
+    "IqImbalance",
+    "DcOffset",
+    "CwTone",
+    "BurstNoise",
+    "available_impairments",
+    "make_impairment",
     "Channel",
     "ChannelParams",
     "CorrelationPeak",

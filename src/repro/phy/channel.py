@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.phy.impairments import ImpairmentPipeline
 from repro.phy.isi import IsiFilter
 from repro.phy.noise import db_to_linear
 from repro.phy.resample import FractionalDelay
@@ -54,6 +55,14 @@ class ChannelParams:
         cleanly a strong interferer can be subtracted — the reason Bob
         becomes undecodable when Alice's power is excessive (§4.1,
         Fig 5-4's high-SINR regime).
+    impairments:
+        Optional :class:`~repro.phy.impairments.ImpairmentPipeline` of
+        per-sender propagation effects beyond the quasi-static model
+        (time-varying fading, SFO drift, ...). Like phase noise and
+        tx_evm these are unknowable to the receiver: they apply in
+        :meth:`Channel.apply` but are excluded from
+        :meth:`Channel.reconstruct`, so they directly stress ZigZag's
+        re-encode/subtract loop.
     """
 
     gain: complex = 1.0 + 0j
@@ -62,6 +71,7 @@ class ChannelParams:
     phase_noise_std: float = 0.0
     isi_taps: tuple | None = None
     tx_evm: float = 0.0
+    impairments: ImpairmentPipeline | None = None
 
     def __post_init__(self) -> None:
         if abs(self.freq_offset) >= 0.5:
@@ -141,6 +151,8 @@ class Channel:
         if p.phase_noise_std > 0.0:
             steps = self.rng.normal(0.0, p.phase_noise_std, out.size)
             out = out * np.exp(1j * np.cumsum(steps))
+        if p.impairments is not None and not p.impairments.is_identity:
+            out = p.impairments.apply(out, self.rng, start_sample)
         return out
 
     def reconstruct(self, symbols, start_sample: int = 0) -> np.ndarray:

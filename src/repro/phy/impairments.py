@@ -1,0 +1,539 @@
+"""Composable channel impairments beyond the quasi-static model.
+
+The paper validates ZigZag on a GNU Radio testbed whose captures suffer
+*time-varying* channels, oscillator drift and front-end nonlinearity —
+effects :class:`~repro.phy.channel.ChannelParams`'s fixed gain/CFO/
+sampling-offset model cannot express. This module provides those effects
+as small composable stages:
+
+- **Fading** — block/interpolated Rayleigh and Rician processes with a
+  coherence-time knob, so the channel moves *within* a packet and the
+  ZigZag re-encode/subtract loop accumulates model error chunk by chunk.
+- **Sampling-frequency-offset drift** — the receiver ADC clock runs at
+  ``1 + ppm``, so the fractional sampling offset drifts over the capture
+  instead of staying constant.
+- **Front-end nonlinearity** — Rapp-model soft clipping, ADC
+  quantization (ENOB), IQ imbalance and DC offset.
+- **Interferers** — a narrowband CW tone and bursty on/off wideband
+  noise, the "messier than AWGN" interference of real deployments.
+
+Each stage is a frozen dataclass implementing the :class:`Impairment`
+protocol (``apply(signal, rng, start_sample)`` plus dict round-tripping)
+and registered under a ``kind`` name; :class:`ImpairmentPipeline` chains
+stages in order. Pipelines hook into the stack at two points: per sender
+(``ChannelParams.impairments``, applied inside ``Channel.apply`` — and
+deliberately *excluded* from ``Channel.reconstruct``, because these
+distortions are exactly what the receiver cannot model) and per capture
+(``medium.synthesize(..., impairments=...)``, the AP's front end).
+Scenario TOML files configure both through the ``[impairments]`` table
+(see ``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy.noise import db_to_linear
+
+__all__ = [
+    "Impairment",
+    "ImpairmentPipeline",
+    "RayleighFading",
+    "RicianFading",
+    "SfoDrift",
+    "SoftClipper",
+    "AdcQuantizer",
+    "IqImbalance",
+    "DcOffset",
+    "CwTone",
+    "BurstNoise",
+    "available_impairments",
+    "make_impairment",
+]
+
+
+@runtime_checkable
+class Impairment(Protocol):
+    """One distortion stage: a pure function of (signal, rng, time).
+
+    Implementations are frozen dataclasses registered under a ``kind``
+    name. ``apply`` must preserve the input length; all randomness must
+    come from the passed ``rng`` (same seed, same output); and
+    ``start_sample`` anchors any time-dependent term to the receiver's
+    clock so a packet placed mid-capture sees a coherent process.
+    """
+
+    kind: ClassVar[str]
+
+    def apply(self, signal: np.ndarray, rng: np.random.Generator,
+              start_sample: int = 0) -> np.ndarray: ...
+
+    @property
+    def is_identity(self) -> bool: ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def _impairment(kind: str):
+    """Register a stage class under its TOML ``kind`` name."""
+
+    def register(cls):
+        if kind in _REGISTRY:
+            raise ConfigurationError(
+                f"impairment kind {kind!r} already registered")
+        cls.kind = kind
+        _REGISTRY[kind] = cls
+        return cls
+
+    return register
+
+
+def available_impairments() -> dict[str, str]:
+    """``{kind: first docstring line}`` for every registered stage."""
+    return {name: (cls.__doc__ or "").strip().splitlines()[0]
+            for name, cls in sorted(_REGISTRY.items())}
+
+
+def make_impairment(data: dict) -> "Impairment":
+    """Build a stage from its dict form: ``{"kind": name, **params}``."""
+    spec = dict(data)
+    try:
+        kind = spec.pop("kind")
+    except KeyError:
+        raise ConfigurationError(
+            f"impairment stage needs a 'kind' key: {data!r}") from None
+    try:
+        cls = _REGISTRY[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown impairment kind {kind!r}; available: "
+            f"{sorted(_REGISTRY)}") from None
+    try:
+        return cls(**spec)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for impairment {kind!r}: {exc}") from exc
+
+
+def _stage_dict(stage: "Impairment") -> dict:
+    out: dict[str, Any] = {"kind": stage.kind}
+    out.update({f.name: getattr(stage, f.name) for f in fields(stage)})
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fading
+# ----------------------------------------------------------------------
+def _scatter_process(rng: np.random.Generator, n: int,
+                     coherence_samples: int, block: bool) -> np.ndarray:
+    """A unit-power complex Gaussian process with the given coherence.
+
+    Draws independent CN(0, 1) values every ``coherence_samples`` samples
+    and either holds them (block fading) or linearly interpolates between
+    them (a cheap Doppler-like smooth evolution). Interpolation between
+    independent draws loses power mid-segment, so the interpolated path is
+    renormalized to keep E|g|² = 1 at every sample.
+    """
+    n_knots = int(np.ceil(n / coherence_samples)) + 1
+    knots = (rng.standard_normal(n_knots)
+             + 1j * rng.standard_normal(n_knots)) / np.sqrt(2.0)
+    if block:
+        return np.repeat(knots, coherence_samples)[:n]
+    t = np.arange(n, dtype=float) / coherence_samples
+    base = np.minimum(t.astype(int), n_knots - 2)
+    frac = t - base
+    g = (1.0 - frac) * knots[base] + frac * knots[base + 1]
+    return g / np.sqrt((1.0 - frac) ** 2 + frac ** 2)
+
+
+@dataclass(frozen=True)
+@_impairment("rayleigh")
+class RayleighFading:
+    """Time-varying Rayleigh fading with coherence-time control.
+
+    Multiplies the signal by a unit-average-power complex Gaussian
+    process that decorrelates every ``coherence_samples`` samples —
+    ``block=True`` holds the gain piecewise constant (block fading),
+    ``block=False`` (default) interpolates smoothly between draws. Small
+    coherence values move the channel *within* one packet, which is the
+    regime that breaks quasi-static channel estimates.
+    """
+
+    coherence_samples: int = 512
+    block: bool = False
+
+    def __post_init__(self) -> None:
+        if self.coherence_samples < 1:
+            raise ConfigurationError("coherence_samples must be >= 1")
+
+    @property
+    def is_identity(self) -> bool:
+        return False
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0:
+            return x
+        return x * _scatter_process(rng, x.size, self.coherence_samples,
+                                    self.block)
+
+
+@dataclass(frozen=True)
+@_impairment("rician")
+class RicianFading:
+    """Rician fading: a fixed LOS ray plus Rayleigh scatter, unit power.
+
+    ``k_factor_db`` is the LOS-to-scatter power ratio; large K approaches
+    a static channel (with a random per-packet LOS phase), K → -inf
+    approaches pure Rayleigh. Coherence semantics match
+    :class:`RayleighFading`.
+    """
+
+    k_factor_db: float = 6.0
+    coherence_samples: int = 512
+    block: bool = False
+
+    def __post_init__(self) -> None:
+        if self.coherence_samples < 1:
+            raise ConfigurationError("coherence_samples must be >= 1")
+
+    @property
+    def is_identity(self) -> bool:
+        return False
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0:
+            return x
+        k = db_to_linear(self.k_factor_db)
+        los = np.sqrt(k / (k + 1.0)) * np.exp(
+            1j * rng.uniform(0.0, 2.0 * np.pi))
+        scatter = _scatter_process(rng, x.size, self.coherence_samples,
+                                   self.block)
+        return x * (los + np.sqrt(1.0 / (k + 1.0)) * scatter)
+
+
+# ----------------------------------------------------------------------
+# Sampling-frequency-offset drift
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+@_impairment("sfo_drift")
+class SfoDrift:
+    """Receiver ADC clock skew: the sampling offset drifts over time.
+
+    The receiver samples at rate ``1 + drift_ppm * 1e-6`` relative to the
+    transmitter, so output sample ``n`` reads the input waveform at
+    position ``n * (1 + δ)`` — a sampling offset that *accumulates*
+    instead of the constant ``mu`` of :class:`ChannelParams`. Implemented
+    as vectorized windowed-sinc interpolation (the same kernel family as
+    :mod:`repro.phy.resample`); positions past the input end read zeros,
+    as a real capture would trail off into noise-only samples.
+    """
+
+    drift_ppm: float = 0.0
+    half_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.half_width < 1:
+            raise ConfigurationError("half_width must be >= 1")
+        if abs(self.drift_ppm) >= 1e6:
+            raise ConfigurationError("|drift_ppm| must be < 1e6")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.drift_ppm == 0.0
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0 or self.is_identity:
+            return x
+        delta = self.drift_ppm * 1e-6
+        # The drift accrued before this packet started still applies to
+        # it: the ADC has been skewing since the capture began.
+        n = np.arange(x.size, dtype=float)
+        positions = n * (1.0 + delta) + start_sample * delta
+        return _sinc_resample(x, positions, self.half_width)
+
+
+def _sinc_resample(x: np.ndarray, positions: np.ndarray,
+                   half_width: int) -> np.ndarray:
+    """Evaluate *x* at fractional *positions* (vectorized windowed sinc).
+
+    Matches :func:`repro.phy.resample.sinc_kernel`'s Hann window and DC
+    normalization, but computes one kernel row per output sample in a
+    single array pass instead of a per-position Python loop.
+    """
+    w = half_width
+    base = np.floor(positions).astype(int)
+    frac = positions - base
+    k = np.arange(-w, w + 1, dtype=float)
+    # x(base + frac) = x(base - (-frac)) -> kernel fraction is -frac.
+    taps = np.sinc(k[None, :] - frac[:, None])
+    taps *= np.hanning(2 * w + 3)[1:-1]
+    taps /= taps.sum(axis=1, keepdims=True)
+    pad_left = max(0, w - int(base.min()))
+    pad_right = max(0, int(base.max()) + w + 1 - x.size)
+    padded = np.concatenate([
+        np.zeros(pad_left, dtype=complex), x,
+        np.zeros(pad_right, dtype=complex),
+    ])
+    out = np.zeros(positions.size, dtype=complex)
+    origin = base + pad_left
+    for j, offset in enumerate(range(-w, w + 1)):
+        out += taps[:, j] * padded[origin + offset]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Front-end nonlinearity
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+@_impairment("clip")
+class SoftClipper:
+    """Rapp-model soft clipping: amplifier compression near saturation.
+
+    ``|y| = |x| / (1 + (|x|/sat)^(2p))^(1/2p)`` with phase preserved —
+    output magnitudes never exceed ``saturation``. Larger ``smoothness``
+    approaches a hard limiter; ``saturation = inf`` disables the stage.
+    """
+
+    saturation: float = math.inf
+    smoothness: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.saturation <= 0:
+            raise ConfigurationError("saturation must be positive")
+        if self.smoothness <= 0:
+            raise ConfigurationError("smoothness must be positive")
+
+    @property
+    def is_identity(self) -> bool:
+        return math.isinf(self.saturation)
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0 or self.is_identity:
+            return x
+        p2 = 2.0 * self.smoothness
+        ratio = np.abs(x) / self.saturation
+        return x / (1.0 + ratio ** p2) ** (1.0 / p2)
+
+
+@dataclass(frozen=True)
+@_impairment("quantize")
+class AdcQuantizer:
+    """ADC quantization: ENOB-bit mid-rise quantization of I and Q.
+
+    Values beyond ``±full_scale`` clip to the outermost level, so output
+    components are bounded by ``full_scale``. ``enob = inf`` disables the
+    stage. Fractional ENOB is allowed (effective bits rarely land on an
+    integer on real hardware).
+    """
+
+    enob: float = math.inf
+    full_scale: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.enob < 1 and not math.isinf(self.enob):
+            raise ConfigurationError("enob must be >= 1 (or inf)")
+        if self.full_scale <= 0:
+            raise ConfigurationError("full_scale must be positive")
+
+    @property
+    def is_identity(self) -> bool:
+        return math.isinf(self.enob)
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0 or self.is_identity:
+            return x
+        step = 2.0 * self.full_scale / (2.0 ** self.enob)
+
+        def quantize(v: np.ndarray) -> np.ndarray:
+            q = (np.floor(v / step) + 0.5) * step
+            return np.clip(q, -self.full_scale + step / 2.0,
+                           self.full_scale - step / 2.0)
+
+        return quantize(x.real) + 1j * quantize(x.imag)
+
+
+@dataclass(frozen=True)
+@_impairment("iq_imbalance")
+class IqImbalance:
+    """Receiver IQ imbalance: gain/phase mismatch between the I and Q arms.
+
+    Standard image model ``y = mu * x + nu * conj(x)`` with
+    ``mu = (1 + g e^{j phi}) / 2``, ``nu = (1 - g e^{j phi}) / 2`` where
+    ``g`` is the linear gain imbalance and ``phi`` the phase error. Zero
+    imbalance is an exact passthrough.
+    """
+
+    amplitude_db: float = 0.0
+    phase_deg: float = 0.0
+
+    @property
+    def is_identity(self) -> bool:
+        return self.amplitude_db == 0.0 and self.phase_deg == 0.0
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0 or self.is_identity:
+            return x
+        g = 10.0 ** (self.amplitude_db / 20.0)
+        rot = g * np.exp(1j * np.deg2rad(self.phase_deg))
+        mu = (1.0 + rot) / 2.0
+        nu = (1.0 - rot) / 2.0
+        return mu * x + nu * np.conj(x)
+
+
+@dataclass(frozen=True)
+@_impairment("dc_offset")
+class DcOffset:
+    """Receiver DC offset: a constant complex bias on every sample."""
+
+    dc_i: float = 0.0
+    dc_q: float = 0.0
+
+    @property
+    def is_identity(self) -> bool:
+        return self.dc_i == 0.0 and self.dc_q == 0.0
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0 or self.is_identity:
+            return x
+        return x + (self.dc_i + 1j * self.dc_q)
+
+
+# ----------------------------------------------------------------------
+# Interferers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+@_impairment("cw_tone")
+class CwTone:
+    """A narrowband continuous-wave interferer (e.g. a leaking oscillator).
+
+    Adds ``A e^{j(2 pi f n + phase)}`` where ``power_db`` is the tone
+    power relative to unit noise power, ``freq`` its frequency in
+    cycles/sample and ``phase`` its start phase (drawn uniformly from the
+    trial RNG when ``None``, wired to the receiver clock via
+    ``start_sample`` either way). ``power_db = -inf`` disables the stage.
+    """
+
+    power_db: float = 0.0
+    freq: float = 0.125
+    phase: float | None = None
+
+    def __post_init__(self) -> None:
+        if abs(self.freq) >= 0.5:
+            raise ConfigurationError(
+                "tone freq is in cycles/sample and must satisfy |f| < 0.5")
+
+    @property
+    def is_identity(self) -> bool:
+        return math.isinf(self.power_db) and self.power_db < 0
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0 or self.is_identity:
+            return x
+        phase = self.phase if self.phase is not None \
+            else float(rng.uniform(0.0, 2.0 * np.pi))
+        amplitude = np.sqrt(db_to_linear(self.power_db))
+        n = np.arange(start_sample, start_sample + x.size, dtype=float)
+        return x + amplitude * np.exp(1j * (2.0 * np.pi * self.freq * n
+                                            + phase))
+
+
+@dataclass(frozen=True)
+@_impairment("burst_noise")
+class BurstNoise:
+    """Bursty on/off wideband interference (e.g. a frequency-hopping
+    neighbour landing in-band).
+
+    Time is divided into ``burst_samples``-long slots; each slot is
+    independently *on* with probability ``duty_cycle``, and on-slots add
+    circularly-symmetric Gaussian noise of power ``power_db`` relative to
+    unit noise power. ``duty_cycle = 0`` disables the stage.
+    """
+
+    power_db: float = 3.0
+    duty_cycle: float = 0.2
+    burst_samples: int = 200
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise ConfigurationError("duty_cycle must be in [0, 1]")
+        if self.burst_samples < 1:
+            raise ConfigurationError("burst_samples must be >= 1")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.duty_cycle == 0.0 \
+            or (math.isinf(self.power_db) and self.power_db < 0)
+
+    def apply(self, signal, rng, start_sample: int = 0) -> np.ndarray:
+        x = np.asarray(signal, dtype=complex).ravel()
+        if x.size == 0 or self.is_identity:
+            return x
+        n_slots = int(np.ceil(x.size / self.burst_samples))
+        on = rng.uniform(size=n_slots) < self.duty_cycle
+        gate = np.repeat(on, self.burst_samples)[:x.size]
+        scale = np.sqrt(db_to_linear(self.power_db) / 2.0)
+        noise = scale * (rng.standard_normal(x.size)
+                         + 1j * rng.standard_normal(x.size))
+        return x + gate * noise
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ImpairmentPipeline:
+    """An ordered chain of impairment stages applied left to right.
+
+    Frozen (hashable, picklable — it rides inside ``ChannelParams`` and
+    crosses the Monte-Carlo runner's process boundary) and loadable from
+    the list-of-dicts form the ``[impairments]`` TOML table produces.
+    """
+
+    stages: tuple = ()
+
+    def __post_init__(self) -> None:
+        stages = tuple(self.stages)
+        for stage in stages:
+            if not isinstance(stage, Impairment):
+                raise ConfigurationError(
+                    f"not an impairment stage: {stage!r}")
+        object.__setattr__(self, "stages", stages)
+
+    @classmethod
+    def from_specs(cls, specs) -> "ImpairmentPipeline":
+        """Build from a list of ``{"kind": ..., **params}`` dicts."""
+        return cls(tuple(make_impairment(spec) for spec in specs))
+
+    def to_specs(self) -> list[dict]:
+        """The list-of-dicts form; ``from_specs(to_specs())`` round-trips."""
+        return [_stage_dict(stage) for stage in self.stages]
+
+    @property
+    def is_identity(self) -> bool:
+        return all(stage.is_identity for stage in self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def apply(self, signal, rng: np.random.Generator,
+              start_sample: int = 0) -> np.ndarray:
+        """Run the signal through every stage in order."""
+        out = np.asarray(signal, dtype=complex).ravel()
+        for stage in self.stages:
+            if not stage.is_identity:
+                out = stage.apply(out, rng, start_sample)
+        return out

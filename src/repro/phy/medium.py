@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.phy.channel import Channel, ChannelParams
+from repro.phy.impairments import ImpairmentPipeline
 from repro.phy.noise import awgn
 
 __all__ = ["Transmission", "Capture", "synthesize"]
@@ -88,7 +89,8 @@ class Capture:
 
 def synthesize(transmissions: list[Transmission], noise_power: float,
                rng: np.random.Generator, *, tail: int = 16,
-               leading: int = 0) -> Capture:
+               leading: int = 0,
+               impairments: ImpairmentPipeline | None = None) -> Capture:
     """Build the AP's received buffer from overlapping transmissions.
 
     Parameters
@@ -100,6 +102,12 @@ def synthesize(transmissions: list[Transmission], noise_power: float,
     tail, leading:
         Extra noise-only samples appended/prepended, as a real capture
         would include (and so correlation can run off the packet ends).
+    impairments:
+        Optional capture-level :class:`ImpairmentPipeline` — the AP's
+        front end (clipping, quantization, IQ imbalance, DC offset) and
+        external interferers. Applied once over the summed buffer, after
+        AWGN, so it distorts every sender jointly; ``clean_components``
+        stay pre-front-end ground truth.
     """
     if not transmissions:
         raise ConfigurationError("need at least one transmission")
@@ -115,6 +123,8 @@ def synthesize(transmissions: list[Transmission], noise_power: float,
         component[start:start + waveform.size] = waveform
         components.append(component)
     buffer = buffer + awgn(total, noise_power, rng)
+    if impairments is not None and not impairments.is_identity:
+        buffer = impairments.apply(buffer, rng, 0)
     shifted = [
         Transmission(t.samples, t.params, t.offset + leading, t.label,
                      t.symbol0 + leading, t.n_symbols)

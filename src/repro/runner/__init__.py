@@ -42,6 +42,7 @@ from repro.runner.seeding import trial_rng, trial_seed, trial_seed_sequence
 from repro.runner.spec import (
     BackoffSpec,
     ChannelSpec,
+    ImpairmentsSpec,
     ScenarioSpec,
     SenderSpec,
     parse_sweep,
@@ -50,6 +51,7 @@ from repro.runner.spec import (
 __all__ = [
     "BackoffSpec",
     "ChannelSpec",
+    "ImpairmentsSpec",
     "MonteCarloRunner",
     "RunResult",
     "ScenarioSpec",

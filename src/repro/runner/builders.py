@@ -26,10 +26,14 @@ def hidden_pair_scenario(rng, preamble, shaper, *, snr_db=12.0,
                          payload_bits=200, offsets=(160, 64),
                          phase_noise=1e-3, noise_power=1.0,
                          freq_spread=4e-3, oracle=False,
-                         snr_b_db=None):
+                         snr_b_db=None, sender_impairments=None,
+                         capture_impairments=None):
     """Build two collisions of the same (Alice, Bob) packet pair.
 
-    Returns (captures, frames, specs, placements).
+    *sender_impairments* (an :class:`~repro.phy.impairments.
+    ImpairmentPipeline`) rides on both senders' channels;
+    *capture_impairments* distorts each summed capture (AP front end /
+    interferers). Returns (captures, frames, specs, placements).
     """
     amp_a = np.sqrt(10 ** (snr_db / 10) * noise_power)
     amp_b = np.sqrt(10 ** ((snr_b_db if snr_b_db is not None else snr_db)
@@ -45,12 +49,14 @@ def hidden_pair_scenario(rng, preamble, shaper, *, snr_db=12.0,
             gain=amp_a * np.exp(1j * rng.uniform(0, 2 * np.pi)),
             freq_offset=float(rng.uniform(-freq_spread, freq_spread)),
             sampling_offset=float(rng.uniform(0, 1)),
-            phase_noise_std=phase_noise),
+            phase_noise_std=phase_noise,
+            impairments=sender_impairments),
         "B": ChannelParams(
             gain=amp_b * np.exp(1j * rng.uniform(0, 2 * np.pi)),
             freq_offset=float(rng.uniform(-freq_spread, freq_spread)),
             sampling_offset=float(rng.uniform(0, 1)),
-            phase_noise_std=phase_noise),
+            phase_noise_std=phase_noise,
+            impairments=sender_impairments),
     }
     captures = []
     for bob_offset in offsets:
@@ -59,7 +65,8 @@ def hidden_pair_scenario(rng, preamble, shaper, *, snr_db=12.0,
                                        params["A"], 0, "A"),
              Transmission.from_symbols(frames["B"].symbols, shaper,
                                        params["B"], bob_offset, "B")],
-            noise_power, rng, leading=8, tail=40))
+            noise_power, rng, leading=8, tail=40,
+            impairments=capture_impairments))
     sync = Synchronizer(preamble, shaper, threshold=0.3)
     placements = []
     for ci, capture in enumerate(captures):

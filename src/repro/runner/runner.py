@@ -25,7 +25,12 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError
 from repro.runner.results import RunResult, SweepResult, TrialResult
-from repro.runner.scenarios import TrialContext, get_scenario, scenario_designs
+from repro.runner.scenarios import (
+    TrialContext,
+    get_scenario,
+    scenario_designs,
+    scenario_supports_impairments,
+)
 from repro.runner.spec import ScenarioSpec
 
 __all__ = ["MonteCarloRunner"]
@@ -109,6 +114,13 @@ class MonteCarloRunner:
             raise ConfigurationError(
                 f"scenario {spec.kind!r} does not support design "
                 f"{spec.design!r} (supported: {list(supported)})")
+        if not spec.impairments.is_empty \
+                and not scenario_supports_impairments(spec.kind):
+            raise ConfigurationError(
+                f"scenario {spec.kind!r} does not apply the spec's "
+                "[impairments] table; running it would silently ignore "
+                "the pipelines (impairment-aware scenarios: pair, "
+                "capture, testbed_pair, hidden_pair_*)")
         indices = list(range(spec.n_trials))
         started = time.perf_counter()
         if self.n_workers == 1 or len(indices) <= 1:

@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ReproError, ScheduleError
 from repro.mac.hidden import HiddenScenario
 from repro.phy.channel import ChannelParams
+from repro.phy.impairments import ImpairmentPipeline
 from repro.phy.medium import Transmission, synthesize
 from repro.phy.sync import Synchronizer
 from repro.receiver.decoder import StandardDecoder
@@ -51,6 +52,7 @@ __all__ = [
     "available_scenarios",
     "get_scenario",
     "scenario",
+    "scenario_supports_impairments",
 ]
 
 ScenarioFn = Callable[[ScenarioSpec, "TrialContext"], Any]
@@ -61,6 +63,11 @@ _REGISTRY: dict[str, ScenarioFn] = {}
 # internally); the runner rejects specs whose design a scenario would
 # silently ignore, and the CLI labels design-independent runs "n/a".
 _DESIGN_SUPPORT: dict[str, tuple[str, ...] | None] = {}
+# Whether a scenario threads spec.impairments through its signal path.
+# The runner rejects specs carrying an [impairments] table for scenarios
+# that would silently ignore it — an un-applied impairment reads as
+# "ZigZag is robust to X" when X never happened.
+_IMPAIRMENT_SUPPORT: dict[str, bool] = {}
 _ALL_DESIGNS = ("zigzag", "802.11", "collision-free")
 
 
@@ -81,13 +88,16 @@ class TrialContext:
                    seed_sequence=sequence, rng=trial_rng(root_seed, index))
 
 
-def scenario(name: str, *, designs: tuple[str, ...] | None = _ALL_DESIGNS
+def scenario(name: str, *, designs: tuple[str, ...] | None = _ALL_DESIGNS,
+             impairments: bool = False
              ) -> Callable[[ScenarioFn], ScenarioFn]:
     """Register a trial function under a spec ``kind``.
 
     *designs* lists the ``spec.design`` values the scenario honors
     (default: all three); pass ``None`` for scenarios that are
-    design-independent.
+    design-independent. *impairments* declares that the scenario threads
+    the spec's ``[impairments]`` pipelines through its signal path; the
+    runner rejects impaired specs for scenarios that don't.
     """
 
     def register(fn: ScenarioFn) -> ScenarioFn:
@@ -95,6 +105,7 @@ def scenario(name: str, *, designs: tuple[str, ...] | None = _ALL_DESIGNS
             raise ConfigurationError(f"scenario {name!r} already registered")
         _REGISTRY[name] = fn
         _DESIGN_SUPPORT[name] = designs
+        _IMPAIRMENT_SUPPORT[name] = impairments
         return fn
 
     return register
@@ -104,6 +115,12 @@ def scenario_designs(name: str) -> tuple[str, ...] | None:
     """Designs the scenario honors, or None if design-independent."""
     get_scenario(name)  # raise on unknown kinds
     return _DESIGN_SUPPORT[name]
+
+
+def scenario_supports_impairments(name: str) -> bool:
+    """Does the scenario apply the spec's ``[impairments]`` pipelines?"""
+    get_scenario(name)  # raise on unknown kinds
+    return _IMPAIRMENT_SUPPORT[name]
 
 
 def get_scenario(name: str) -> ScenarioFn:
@@ -127,6 +144,7 @@ def available_scenarios() -> dict[str, str]:
 # ----------------------------------------------------------------------
 def _experiment_config(spec: ScenarioSpec) -> PairExperimentConfig:
     ch = spec.channel
+    imp = spec.impairments
     return PairExperimentConfig(
         payload_bits=spec.payload_bits,
         n_packets=spec.n_packets,
@@ -140,6 +158,10 @@ def _experiment_config(spec: ScenarioSpec) -> PairExperimentConfig:
         coarse_freq_error=ch.coarse_freq_error,
         modulation=spec.modulation,
         preamble_length=spec.preamble_length,
+        sender_impairments=(imp.sender_pipeline()
+                            if imp.sender else None),
+        capture_impairments=(imp.capture_pipeline()
+                             if imp.capture else None),
     )
 
 
@@ -156,7 +178,7 @@ def _pair_snrs(spec: ScenarioSpec) -> tuple[float, float]:
     return snr, snr
 
 
-@scenario("pair")
+@scenario("pair", impairments=True)
 def pair_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
     """Two saturated senders to one AP under the design under test (§5.2).
 
@@ -183,7 +205,7 @@ def pair_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
                        airtime=airtime)
 
 
-@scenario("capture")
+@scenario("capture", impairments=True)
 def capture_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
     """One Fig 5-4 capture-effect point: SNR_A = SNR_B + params.sinr_db.
 
@@ -311,7 +333,7 @@ def schedule_failure_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
     return {"failed": 0.0}
 
 
-@scenario("testbed_pair", designs=None)
+@scenario("testbed_pair", designs=None, impairments=True)
 def testbed_pair_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
     """One §5.6 campaign draw: a random testbed pair under both designs.
 
@@ -438,3 +460,132 @@ def receiver_stream_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
     return {"packets_recovered": float(len(decoded)),
             "mean_ber": float(np.mean(bers)) if bers else 1.0,
             "packets_recovered_80211": float(baseline_delivered)}
+
+
+# ----------------------------------------------------------------------
+# Impaired hidden-pair scenarios (beyond the quasi-static channel)
+# ----------------------------------------------------------------------
+def _impaired_pair_metrics(spec: ScenarioSpec, ctx: TrialContext,
+                           default_sender: tuple = (),
+                           default_capture: tuple = ()) -> dict:
+    """One impaired hidden-pair trial: ZigZag vs the standard decoder.
+
+    Builds the canonical two-collision hidden pair with the spec's
+    ``[impairments]`` pipelines (falling back to the scenario's default
+    stages when the table is empty), ZigZag-decodes the pair, and — on
+    the same two captures — runs the plain :class:`StandardDecoder` per
+    transmission, keeping each packet's best BER. The metric pairs chart
+    how each receiver degrades as the impairment worsens.
+    """
+    rng = ctx.rng
+    preamble = cached_preamble(spec.preamble_length)
+    shaper = cached_shaper()
+    noise_power = spec.channel.noise_power
+    imp = spec.impairments
+    sender_pipe = imp.sender_pipeline() if imp.sender \
+        else ImpairmentPipeline.from_specs(default_sender)
+    capture_pipe = imp.capture_pipeline() if imp.capture \
+        else ImpairmentPipeline.from_specs(default_capture)
+    snr_db = float(spec.param("snr_db", 12.0))
+    bers_z = {"A": 1.0, "B": 1.0}
+    bers_s = {"A": 1.0, "B": 1.0}
+    try:
+        captures, frames, specs, placements = hidden_pair_scenario(
+            rng, preamble, shaper, snr_db=snr_db,
+            payload_bits=spec.payload_bits, noise_power=noise_power,
+            sender_impairments=sender_pipe if len(sender_pipe) else None,
+            capture_impairments=capture_pipe if len(capture_pipe) else None)
+    except ReproError:
+        captures = []
+    if captures:
+        config = StreamConfig(preamble=preamble, shaper=shaper,
+                              noise_power=noise_power)
+        try:
+            outcome = ZigZagPairDecoder(config).decode(
+                [c.samples for c in captures], specs, placements)
+            bers_z = {n: outcome.results[n].ber_against(
+                frames[n].body_bits) for n in frames}
+        except ReproError:
+            pass
+        for capture in captures:
+            for t in capture.transmissions:
+                coarse = t.params.freq_offset + rng.normal(
+                    0, spec.channel.coarse_freq_error)
+                decoder = StandardDecoder(
+                    preamble, shaper, noise_power=noise_power,
+                    coarse_freq=coarse)
+                try:
+                    result = decoder.decode(capture.samples,
+                                            start_position=t.symbol0)
+                except ReproError:
+                    continue
+                bers_s[t.label] = min(
+                    bers_s[t.label],
+                    result.ber_against(frames[t.label].body_bits))
+    delivered = {key: float(sum(b < BER_DELIVERY_THRESHOLD
+                                for b in bers.values()))
+                 for key, bers in (("zigzag", bers_z), ("standard", bers_s))}
+    return {"ber_zigzag": float(np.mean(list(bers_z.values()))),
+            "ber_standard": float(np.mean(list(bers_s.values()))),
+            "delivered_zigzag": delivered["zigzag"],
+            "delivered_standard": delivered["standard"]}
+
+
+@scenario("hidden_pair_impaired", designs=None, impairments=True)
+def hidden_pair_impaired_trial(spec: ScenarioSpec,
+                               ctx: TrialContext) -> dict:
+    """Hidden pair under the spec's ``[impairments]`` pipelines.
+
+    The fully declarative variant: whatever ``[[impairments.sender]]`` /
+    ``[[impairments.capture]]`` stages the TOML file lists (identity when
+    absent). Metrics: ``ber_zigzag``, ``ber_standard``,
+    ``delivered_zigzag``, ``delivered_standard`` (packets out of 2).
+    """
+    return _impaired_pair_metrics(spec, ctx)
+
+
+@scenario("hidden_pair_fading", designs=None, impairments=True)
+def hidden_pair_fading_trial(spec: ScenarioSpec,
+                             ctx: TrialContext) -> dict:
+    """Hidden pair under time-varying Rayleigh fading.
+
+    Defaults to one per-sender ``rayleigh`` stage whose coherence time is
+    ``params.coherence_samples`` (400); an explicit ``[impairments]``
+    table overrides the default. Short coherence moves the channel within
+    one packet, stressing ZigZag's chunk-by-chunk subtraction.
+    """
+    coherence = int(spec.param("coherence_samples", 400))
+    return _impaired_pair_metrics(
+        spec, ctx,
+        default_sender=({"kind": "rayleigh",
+                         "coherence_samples": coherence},))
+
+
+@scenario("hidden_pair_frontend", designs=None, impairments=True)
+def hidden_pair_frontend_trial(spec: ScenarioSpec,
+                               ctx: TrialContext) -> dict:
+    """Hidden pair through a nonlinear AP front end.
+
+    Defaults to a capture pipeline of soft clipping (``params.
+    saturation``, relative to the stronger sender's amplitude), ADC
+    quantization (``params.enob``), IQ imbalance and DC offset; an
+    explicit ``[impairments]`` table overrides the default.
+    """
+    snr_db = float(spec.param("snr_db", 12.0))
+    amplitude = float(np.sqrt(10 ** (snr_db / 10)
+                              * spec.channel.noise_power))
+    saturation = float(spec.param("saturation", 3.0)) * amplitude
+    full_scale = float(spec.param("full_scale", 4.0)) * amplitude
+    return _impaired_pair_metrics(
+        spec, ctx,
+        default_capture=(
+            {"kind": "clip", "saturation": saturation},
+            {"kind": "quantize", "enob": float(spec.param("enob", 7.0)),
+             "full_scale": full_scale},
+            {"kind": "iq_imbalance",
+             "amplitude_db": float(spec.param("iq_amplitude_db", 0.2)),
+             "phase_deg": float(spec.param("iq_phase_deg", 1.0))},
+            {"kind": "dc_offset",
+             "dc_i": float(spec.param("dc_offset", 0.01)) * amplitude,
+             "dc_q": -float(spec.param("dc_offset", 0.01)) * amplitude},
+        ))

@@ -27,6 +27,14 @@ loadable from TOML files::
     kind = "fixed"
     cw = 16
 
+    [[impairments.sender]]      # optional: per-sender pipeline stages
+    kind = "rayleigh"
+    coherence_samples = 400
+
+    [[impairments.capture]]     # optional: AP front end / interferers
+    kind = "quantize"
+    enob = 6.0
+
     [params]            # scenario-specific extras
     anything = 1.0
 
@@ -43,10 +51,12 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.mac.backoff import BackoffPicker, ExponentialBackoff, FixedWindowBackoff
+from repro.phy.impairments import ImpairmentPipeline, make_impairment
 
 __all__ = [
     "BackoffSpec",
     "ChannelSpec",
+    "ImpairmentsSpec",
     "ScenarioSpec",
     "SenderSpec",
     "parse_sweep",
@@ -96,6 +106,73 @@ class BackoffSpec:
             f"unknown backoff kind {self.kind!r}; use 'fixed' or 'exponential'")
 
 
+def _freeze_stage(stage) -> tuple:
+    """One pipeline stage as a sorted, hashable key/value tuple."""
+    entry = dict(stage)
+    make_impairment(entry)  # validate kind and parameters eagerly
+    return tuple(sorted(entry.items()))
+
+
+@dataclass(frozen=True)
+class ImpairmentsSpec:
+    """The ``[impairments]`` table: declarative impairment pipelines.
+
+    ``sender`` stages ride on every transmission's channel (time-varying
+    fading, SFO drift, ...); ``capture`` stages distort each summed
+    capture once (AP front-end nonlinearity, interferers). Stages are
+    stored as sorted key/value tuples so the spec stays hashable and
+    picklable; :meth:`sender_pipeline` / :meth:`capture_pipeline` build
+    the live :class:`~repro.phy.impairments.ImpairmentPipeline` objects.
+    """
+
+    sender: tuple = ()
+    capture: tuple = ()
+
+    def __post_init__(self) -> None:
+        for attr in ("sender", "capture"):
+            raw = getattr(self, attr)
+            if isinstance(raw, dict):
+                raise ConfigurationError(
+                    f"[impairments].{attr} must be an array of tables "
+                    f"([[impairments.{attr}]])")
+            object.__setattr__(
+                self, attr, tuple(_freeze_stage(s) for s in raw))
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.sender or self.capture)
+
+    def sender_pipeline(self) -> ImpairmentPipeline:
+        return ImpairmentPipeline.from_specs(
+            [dict(stage) for stage in self.sender])
+
+    def capture_pipeline(self) -> ImpairmentPipeline:
+        return ImpairmentPipeline.from_specs(
+            [dict(stage) for stage in self.capture])
+
+    def to_dict(self) -> dict:
+        return {"sender": [dict(stage) for stage in self.sender],
+                "capture": [dict(stage) for stage in self.capture]}
+
+    def with_stage_override(self, path: str, value: Any) -> "ImpairmentsSpec":
+        """Apply a ``<hook>.<index>.<field>`` override, e.g.
+        ``sender.0.coherence_samples``."""
+        hook, _, rest = path.partition(".")
+        index_text, _, attr = rest.partition(".")
+        if hook not in ("sender", "capture") or not attr:
+            raise ConfigurationError(
+                "impairment override needs "
+                f"impairments.<sender|capture>.<index>.<field>: {path!r}")
+        stages = [dict(stage) for stage in getattr(self, hook)]
+        if not index_text.isdigit() or int(index_text) >= len(stages):
+            raise ConfigurationError(
+                f"no [[impairments.{hook}]] stage {index_text!r} "
+                f"(have {len(stages)})")
+        index = int(index_text)
+        stages[index][attr] = value
+        return replace(self, **{hook: tuple(stages)})
+
+
 _DESIGNS = ("zigzag", "802.11", "collision-free")
 
 
@@ -108,6 +185,7 @@ class ScenarioSpec:
     senders: tuple[SenderSpec, ...] = ()
     channel: ChannelSpec = field(default_factory=ChannelSpec)
     backoff: BackoffSpec = field(default_factory=BackoffSpec)
+    impairments: ImpairmentsSpec = field(default_factory=ImpairmentsSpec)
     sense_probability: float = 0.0
     payload_bits: int = 240
     n_packets: int = 6
@@ -156,13 +234,20 @@ class ScenarioSpec:
             SenderSpec(**entry) for entry in data.pop("sender", ()))
         channel = ChannelSpec(**data.pop("channel", {}))
         backoff = BackoffSpec(**data.pop("backoff", {}))
+        impairments_table = dict(data.pop("impairments", {}))
+        unknown_hooks = set(impairments_table) - {"sender", "capture"}
+        if unknown_hooks:
+            raise ConfigurationError(
+                f"unknown [impairments] hooks: {sorted(unknown_hooks)}; "
+                "use [[impairments.sender]] / [[impairments.capture]]")
+        impairments = ImpairmentsSpec(**impairments_table)
         params = tuple(sorted(dict(data.pop("params", {})).items()))
         if data:
             raise ConfigurationError(
                 f"unknown scenario tables: {sorted(data)}")
         try:
             return cls(senders=senders, channel=channel, backoff=backoff,
-                       params=params, **scalar)
+                       impairments=impairments, params=params, **scalar)
         except TypeError as exc:
             raise ConfigurationError(f"bad [scenario] table: {exc}") from exc
 
@@ -192,6 +277,8 @@ class ScenarioSpec:
             out["sender"] = [dataclasses.asdict(s) for s in self.senders]
         out["channel"] = dataclasses.asdict(self.channel)
         out["backoff"] = dataclasses.asdict(self.backoff)
+        if not self.impairments.is_empty:
+            out["impairments"] = self.impairments.to_dict()
         if self.params:
             out["params"] = dict(self.params)
         return out
@@ -202,11 +289,16 @@ class ScenarioSpec:
 
         Accepted forms: a top-level field (``n_trials``), a nested field
         (``channel.noise_power``, ``backoff.cw``), a sender field
-        (``sender.alice.snr_db``), or a scenario extra (``params.x``).
-        Unknown top-level keys fall through to the ``params`` table, so
-        sweeping an extra does not require the ``params.`` prefix.
+        (``sender.alice.snr_db``), an impairment-stage field
+        (``impairments.sender.0.coherence_samples``), or a scenario extra
+        (``params.x``). Unknown top-level keys fall through to the
+        ``params`` table, so sweeping an extra does not require the
+        ``params.`` prefix.
         """
         head, _, rest = key.partition(".")
+        if head == "impairments" and rest:
+            return replace(self, impairments=self.impairments
+                           .with_stage_override(rest, value))
         if head == "channel" and rest:
             return replace(self, channel=replace(self.channel,
                                                  **{rest: value}))

@@ -36,6 +36,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.mac.backoff import BackoffPicker, FixedWindowBackoff
 from repro.phy.channel import ChannelParams
 from repro.phy.constellation import get_constellation
+from repro.phy.impairments import ImpairmentPipeline
 from repro.phy.frame import Frame
 from repro.phy.medium import Capture, Transmission, synthesize
 from repro.phy.preamble import Preamble, default_preamble
@@ -91,6 +92,11 @@ class PairExperimentConfig:
     use_backward: bool = True
     sic_gain_ratio: float = 2.0
     preamble_length: int = 32
+    # Optional impairment pipelines beyond the quasi-static model: the
+    # sender pipeline rides on every transmission's channel; the capture
+    # pipeline (AP front end / interferers) distorts each summed buffer.
+    sender_impairments: ImpairmentPipeline | None = None
+    capture_impairments: ImpairmentPipeline | None = None
 
     def __post_init__(self) -> None:
         if self.payload_bits < 64:
@@ -119,6 +125,7 @@ class _Sender:
             sampling_offset=float(rng.uniform(0, 1)),
             phase_noise_std=cfg.phase_noise_std,
             tx_evm=cfg.tx_evm,
+            impairments=cfg.sender_impairments,
         )
 
 
@@ -189,7 +196,8 @@ class PairExperiment:
             for name in frames
         ]
         return synthesize(txs, self.cfg.noise_power, self.rng,
-                          leading=8, tail=30)
+                          leading=8, tail=30,
+                          impairments=self.cfg.capture_impairments)
 
     def _clean_transmission_ber(self, frame: Frame,
                                 sender: _Sender) -> float:

@@ -1,0 +1,144 @@
+"""Regenerate the golden-vector fixtures under ``tests/golden/``.
+
+Each fixture is a small fixed-seed hidden-pair collision pair — the raw
+capture buffers, the acquisition inputs (symbol-0 positions and coarse
+frequency guesses), the ground-truth body bits, and the bits the ZigZag
+pair decoder recovered when the fixture was generated. The companion test
+(``tests/test_golden_vectors.py``) re-runs synchronization + ZigZag
+decoding on the *stored* waveforms and asserts the recovered bits match
+**bit-exactly**, pinning the whole receive chain (sync.acquire through
+engine/re-encode/subtract/tracking) across future refactors — the
+end-to-end analogue of :mod:`repro.perf.reference`'s kernel oracles.
+
+Regenerate (only after an *intentional* behavior change, and eyeball the
+reported BERs before committing)::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.phy.impairments import ImpairmentPipeline  # noqa: E402
+from repro.phy.preamble import default_preamble  # noqa: E402
+from repro.phy.pulse import PulseShaper  # noqa: E402
+from repro.phy.sync import Synchronizer  # noqa: E402
+from repro.receiver.frontend import StreamConfig  # noqa: E402
+from repro.runner.builders import hidden_pair_scenario  # noqa: E402
+from repro.utils.bits import bit_error_rate  # noqa: E402
+from repro.zigzag.decoder import ZigZagPairDecoder  # noqa: E402
+from repro.zigzag.engine import PacketSpec  # noqa: E402
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+PAYLOAD_BITS = 160
+PREAMBLE_LENGTH = 32
+NOISE_POWER = 1.0
+COARSE_FREQ_ERROR = 1.5e-5
+
+# name -> (seed, snr_db, sender stage dicts, capture stage dicts)
+FIXTURES: dict[str, tuple[int, float, tuple, tuple]] = {
+    "hidden_pair_clean": (101, 12.0, (), ()),
+    "hidden_pair_fading": (
+        202, 13.0,
+        ({"kind": "rician", "k_factor_db": 14.0,
+          "coherence_samples": 1500},),
+        ()),
+    "hidden_pair_frontend": (
+        303, 13.0,
+        (),
+        ({"kind": "clip", "saturation": 18.0},
+         {"kind": "quantize", "enob": 8.0, "full_scale": 24.0},
+         {"kind": "iq_imbalance", "amplitude_db": 0.15,
+          "phase_deg": 0.8})),
+}
+
+
+def build_fixture(name: str) -> dict[str, np.ndarray]:
+    """Synthesize one fixture's captures + acquisition inputs + truth."""
+    seed, snr_db, sender_stages, capture_stages = FIXTURES[name]
+    rng = np.random.default_rng(seed)
+    preamble = default_preamble(PREAMBLE_LENGTH)
+    shaper = PulseShaper()
+    captures, frames, _, _ = hidden_pair_scenario(
+        rng, preamble, shaper, snr_db=snr_db, payload_bits=PAYLOAD_BITS,
+        noise_power=NOISE_POWER,
+        sender_impairments=(ImpairmentPipeline.from_specs(sender_stages)
+                            if sender_stages else None),
+        capture_impairments=(ImpairmentPipeline.from_specs(capture_stages)
+                             if capture_stages else None))
+    data: dict[str, np.ndarray] = {
+        "payload_bits": np.array(PAYLOAD_BITS),
+        "preamble_length": np.array(PREAMBLE_LENGTH),
+        "noise_power": np.array(NOISE_POWER),
+        "seed": np.array(seed),
+        "n_symbols": np.array(frames["A"].n_symbols),
+    }
+    # The same coarse-frequency guesses the builder's acquisition loop
+    # would draw (the AP's client-table CFO plus association-time error).
+    for ci, capture in enumerate(captures):
+        data[f"capture{ci}"] = capture.samples
+        for t in capture.transmissions:
+            key = f"c{ci}_{t.label}"
+            data[f"symbol0_{key}"] = np.array(t.symbol0)
+            data[f"coarse_{key}"] = np.array(
+                t.params.freq_offset + rng.normal(0, COARSE_FREQ_ERROR))
+    for label, frame in frames.items():
+        data[f"body_{label}"] = frame.body_bits.astype(np.uint8)
+    return data
+
+
+def decode_fixture(data: dict) -> dict[str, np.ndarray]:
+    """Sync + ZigZag-decode a fixture's stored waveforms from scratch."""
+    preamble = default_preamble(int(data["preamble_length"]))
+    shaper = PulseShaper()
+    noise_power = float(data["noise_power"])
+    sync = Synchronizer(preamble, shaper, threshold=0.3)
+    n_symbols = int(data["n_symbols"])
+    placements = []
+    captures = []
+    from repro.zigzag.engine import PlacementParams
+
+    for ci in range(2):
+        samples = np.asarray(data[f"capture{ci}"])
+        captures.append(samples)
+        for label in ("A", "B"):
+            key = f"c{ci}_{label}"
+            symbol0 = int(data[f"symbol0_{key}"])
+            est = sync.acquire(samples, symbol0,
+                               coarse_freq=float(data[f"coarse_{key}"]),
+                               noise_power=noise_power)
+            placements.append(PlacementParams(
+                label, ci, symbol0 + est.sampling_offset, est))
+    config = StreamConfig(preamble=preamble, shaper=shaper,
+                          noise_power=noise_power)
+    specs = {label: PacketSpec(label, n_symbols) for label in ("A", "B")}
+    outcome = ZigZagPairDecoder(config).decode(captures, specs, placements)
+    return {label: outcome.results[label].bits.astype(np.uint8)
+            for label in ("A", "B")}
+
+
+def regenerate() -> None:
+    for name in FIXTURES:
+        data = build_fixture(name)
+        decoded = decode_fixture(data)
+        for label, bits in decoded.items():
+            data[f"decoded_{label}"] = bits
+            truth = data[f"body_{label}"]
+            ber = bit_error_rate(truth, bits[:truth.size]) \
+                if bits.size >= truth.size else 1.0
+            print(f"{name:24s} {label}: {bits.size:4d} bits  "
+                  f"ber vs truth = {ber:.5f}")
+        path = GOLDEN_DIR / f"{name}.npz"
+        np.savez_compressed(path, **data)
+        print(f"  -> wrote {path}")
+
+
+if __name__ == "__main__":
+    regenerate()

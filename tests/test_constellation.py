@@ -48,8 +48,7 @@ class TestRoundtrip:
         assert np.array_equal(c.demodulate(symbols), bits)
 
     @pytest.mark.parametrize("c", ALL, ids=lambda c: c.name)
-    def test_roundtrip_with_small_noise(self, c):
-        rng = np.random.default_rng(3)
+    def test_roundtrip_with_small_noise(self, c, rng):
         bits = rng.integers(0, 2, 20 * c.bits_per_symbol, dtype=np.uint8)
         symbols = c.modulate(bits)
         noisy = symbols + 0.01 * (rng.standard_normal(symbols.size)
@@ -83,8 +82,7 @@ class TestConjugate:
         conjugated = set(np.round(c.conjugate().points, 9))
         assert original == conjugated
 
-    def test_conjugate_maps_symbols(self):
-        rng = np.random.default_rng(0)
+    def test_conjugate_maps_symbols(self, rng):
         bits = rng.integers(0, 2, 40, dtype=np.uint8)
         conj_symbols = np.conj(QAM16.modulate(bits))
         assert np.array_equal(QAM16.conjugate().demodulate(conj_symbols),

@@ -29,8 +29,7 @@ class TestBitLevel:
         assert framed.size == bits.size + 32
         assert crc32_check(framed)
 
-    def test_single_bit_error_detected(self):
-        rng = np.random.default_rng(0)
+    def test_single_bit_error_detected(self, rng):
         bits = rng.integers(0, 2, 64, dtype=np.uint8)
         framed = append_crc32(bits)
         for position in (0, 17, framed.size - 1):

@@ -1,0 +1,86 @@
+"""Golden-vector regression: end-to-end decodes pinned bit-exactly.
+
+Each fixture under ``tests/golden/`` holds a fixed-seed hidden-pair
+collision pair (raw capture buffers + acquisition inputs) together with
+the bits the full receive chain recovered when the fixture was generated.
+Re-running synchronization + ZigZag decoding on the *stored* waveforms
+must reproduce those bits exactly — any numerical drift anywhere in the
+chain (sync.acquire, chunk scheduling, re-encode/subtract, tracking,
+slicing) trips these tests. This is the end-to-end complement of the
+kernel-level oracles in ``tests/test_perf_equivalence.py``.
+
+After an *intentional* behavior change, regenerate with::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and review the reported BERs before committing the new fixtures.
+"""
+
+import importlib.util
+import pathlib
+
+import numpy as np
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+_spec = importlib.util.spec_from_file_location(
+    "golden_regenerate", GOLDEN_DIR / "regenerate.py")
+golden = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden)
+
+FIXTURE_NAMES = sorted(golden.FIXTURES)
+
+
+def load(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.npz"
+    assert path.exists(), (
+        f"missing golden fixture {path}; run tests/golden/regenerate.py")
+    with np.load(path) as data:
+        return {key: np.array(data[key]) for key in data.files}
+
+
+class TestGoldenVectors:
+    @pytest.mark.parametrize("name", FIXTURE_NAMES)
+    def test_decode_is_bit_exact(self, name):
+        data = load(name)
+        decoded = golden.decode_fixture(data)
+        for label in ("A", "B"):
+            expected = data[f"decoded_{label}"]
+            got = decoded[label]
+            assert got.size == expected.size, (
+                f"{name}/{label}: decoded {got.size} bits, "
+                f"fixture pinned {expected.size}")
+            mismatches = int(np.count_nonzero(got != expected))
+            assert mismatches == 0, (
+                f"{name}/{label}: {mismatches} bits differ from the "
+                f"pinned decode — the receive chain's numerics changed. "
+                f"If intentional, regenerate tests/golden/.")
+
+    @pytest.mark.parametrize("name", FIXTURE_NAMES)
+    def test_fixture_decodes_ground_truth(self, name):
+        """The pinned decodes are meaningful, not garbage: every fixture
+        was generated in a regime where both packets come out clean."""
+        data = load(name)
+        for label in ("A", "B"):
+            truth = data[f"body_{label}"]
+            pinned = data[f"decoded_{label}"][:truth.size]
+            ber = float(np.mean(pinned != truth))
+            assert ber < 1e-3, f"{name}/{label}: pinned ber {ber}"
+
+    @pytest.mark.parametrize("name", FIXTURE_NAMES)
+    def test_regeneration_is_deterministic(self, name):
+        """build_fixture reproduces the committed waveforms sample-exactly
+        from its seed — the synthesis side (channel, impairments, medium)
+        is pinned too, not just the receive side."""
+        data = load(name)
+        rebuilt = golden.build_fixture(name)
+        for ci in (0, 1):
+            key = f"capture{ci}"
+            assert np.array_equal(rebuilt[key], data[key]), (
+                f"{name}: {key} no longer regenerates bit-exactly — "
+                f"synthesis numerics changed. If intentional, regenerate "
+                f"tests/golden/.")
+        for label in ("A", "B"):
+            assert np.array_equal(rebuilt[f"body_{label}"],
+                                  data[f"body_{label}"])

@@ -36,9 +36,8 @@ class TestTiming:
 
 
 class TestBackoff:
-    def test_fixed_window_range(self):
+    def test_fixed_window_range(self, rng):
         picker = FixedWindowBackoff(cw=8)
-        rng = np.random.default_rng(0)
         slots = [picker.pick(attempt, rng) for attempt in range(5)
                  for _ in range(200)]
         assert min(slots) >= 0 and max(slots) <= 8

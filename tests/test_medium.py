@@ -34,7 +34,7 @@ class TestSynthesize:
         pb = ChannelParams(gain=1.0 + 1j)
         ta = Transmission.from_symbols(sym_a, shaper, pa, 0, "a")
         tb = Transmission.from_symbols(sym_b, shaper, pb, 20, "b")
-        cap = synthesize([ta, tb], 0.0, np.random.default_rng(0))
+        cap = synthesize([ta, tb], 0.0, rng)
         assert np.allclose(cap.samples,
                            cap.clean_components[0] + cap.clean_components[1])
 
@@ -46,11 +46,11 @@ class TestSynthesize:
         assert cap.transmissions[0].symbol0 == 13 + shaper.delay
         assert np.allclose(cap.samples[:8], 0.0)
 
-    def test_noise_floor(self, shaper):
+    def test_noise_floor(self, shaper, rng):
         sym = np.ones(10, complex)
         t = Transmission.from_symbols(sym, shaper, ChannelParams(0j + 1e-9),
                                       0, "a")
-        cap = synthesize([t], 4.0, np.random.default_rng(0), tail=5000)
+        cap = synthesize([t], 4.0, rng, tail=5000)
         assert np.mean(np.abs(cap.samples) ** 2) == pytest.approx(4.0,
                                                                   rel=0.05)
 

@@ -38,30 +38,27 @@ class TestConversions:
 
 
 class TestAwgn:
-    def test_power_matches_request(self):
-        rng = np.random.default_rng(0)
+    def test_power_matches_request(self, rng):
         noise = awgn(200_000, 2.5, rng)
         assert signal_power(noise) == pytest.approx(2.5, rel=0.02)
 
-    def test_circular_symmetry(self):
-        rng = np.random.default_rng(1)
+    def test_circular_symmetry(self, rng):
         noise = awgn(100_000, 1.0, rng)
         assert np.mean(noise.real ** 2) == pytest.approx(0.5, rel=0.05)
         assert np.mean(noise.imag ** 2) == pytest.approx(0.5, rel=0.05)
         assert abs(np.mean(noise)) < 0.01
 
-    def test_zero_power(self):
-        noise = awgn(10, 0.0, np.random.default_rng(0))
+    def test_zero_power(self, rng):
+        noise = awgn(10, 0.0, rng)
         assert np.all(noise == 0)
 
-    def test_negative_rejected(self):
+    def test_negative_rejected(self, rng):
         with pytest.raises(ConfigurationError):
-            awgn(10, -1.0, np.random.default_rng(0))
+            awgn(10, -1.0, rng)
 
 
 class TestSnr:
-    def test_empirical_snr(self):
-        rng = np.random.default_rng(2)
+    def test_empirical_snr(self, rng):
         signal = 3.0 * np.exp(1j * rng.uniform(0, 2 * np.pi, 50_000))
         noise = awgn(50_000, 1.0, rng)
         assert snr_db(signal, noise) == pytest.approx(

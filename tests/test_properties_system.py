@@ -6,6 +6,20 @@ from hypothesis import given, settings, strategies as st
 
 from repro.phy.channel import Channel, ChannelParams
 from repro.phy.frame import Frame, scramble_bits, descramble_soft_bpsk
+from repro.phy.impairments import (
+    AdcQuantizer,
+    BurstNoise,
+    CwTone,
+    DcOffset,
+    ImpairmentPipeline,
+    IqImbalance,
+    RayleighFading,
+    RicianFading,
+    SfoDrift,
+    SoftClipper,
+    available_impairments,
+    make_impairment,
+)
 from repro.phy.medium import Transmission, synthesize
 from repro.phy.preamble import default_preamble
 from repro.phy.pulse import MatchedSampler, PulseShaper
@@ -106,6 +120,152 @@ class TestChannelProperties:
         combined = ch.reconstruct(a + 3.0 * b, 10)
         separate = ch.reconstruct(a, 10) + 3.0 * ch.reconstruct(b, 10)
         assert np.allclose(combined, separate, atol=1e-10)
+
+
+# One representative (randomly parameterized) stage per impairment kind,
+# drawn from a hypothesis-provided seed so every family's parameter space
+# gets sampled. Kept in sync with the registry by test_every_kind_sampled.
+def _sample_stage(kind: str, rng: np.random.Generator):
+    return make_impairment({
+        "rayleigh": lambda: {"kind": kind,
+                             "coherence_samples": int(rng.integers(1, 800)),
+                             "block": bool(rng.integers(2))},
+        "rician": lambda: {"kind": kind,
+                           "k_factor_db": float(rng.uniform(-5, 20)),
+                           "coherence_samples": int(rng.integers(1, 800)),
+                           "block": bool(rng.integers(2))},
+        "sfo_drift": lambda: {"kind": kind,
+                              "drift_ppm": float(rng.uniform(-900, 900))},
+        "clip": lambda: {"kind": kind,
+                         "saturation": float(rng.uniform(0.2, 5.0)),
+                         "smoothness": float(rng.uniform(0.5, 6.0))},
+        "quantize": lambda: {"kind": kind,
+                             "enob": float(rng.uniform(1.0, 12.0)),
+                             "full_scale": float(rng.uniform(0.5, 8.0))},
+        "iq_imbalance": lambda: {"kind": kind,
+                                 "amplitude_db": float(rng.uniform(-3, 3)),
+                                 "phase_deg": float(rng.uniform(-20, 20))},
+        "dc_offset": lambda: {"kind": kind,
+                              "dc_i": float(rng.uniform(-1, 1)),
+                              "dc_q": float(rng.uniform(-1, 1))},
+        "cw_tone": lambda: {"kind": kind,
+                            "power_db": float(rng.uniform(-20, 10)),
+                            "freq": float(rng.uniform(-0.45, 0.45))},
+        "burst_noise": lambda: {"kind": kind,
+                                "power_db": float(rng.uniform(-10, 10)),
+                                "duty_cycle": float(rng.uniform(0, 1)),
+                                "burst_samples": int(rng.integers(1, 500))},
+    }[kind]())
+
+
+ALL_KINDS = sorted(available_impairments())
+
+IDENTITY_STAGES = [
+    SfoDrift(drift_ppm=0.0),
+    SoftClipper(),
+    AdcQuantizer(),
+    IqImbalance(),
+    DcOffset(),
+    CwTone(power_db=-np.inf),
+    BurstNoise(duty_cycle=0.0),
+]
+
+
+class TestImpairmentProperties:
+    def test_every_kind_sampled(self):
+        """_sample_stage covers the whole registry — a new impairment
+        without property coverage fails here."""
+        rng = np.random.default_rng(0)
+        for kind in ALL_KINDS:
+            assert _sample_stage(kind, rng).kind == kind
+
+    @given(st.sampled_from(ALL_KINDS), st.integers(0, 2**16),
+           st.integers(0, 3000), st.integers(1, 1500))
+    @settings(max_examples=60, deadline=None)
+    def test_seed_determinism_and_length(self, kind, seed, start, n):
+        """Same stage + same RNG seed -> bit-identical output, and every
+        stage preserves the input length (alignment is sacred: ZigZag's
+        chunk bookkeeping counts samples)."""
+        stage = _sample_stage(kind, np.random.default_rng(seed))
+        x = np.exp(1j * np.linspace(0.0, 11.0, n))
+        a = stage.apply(x, np.random.default_rng(seed + 1), start)
+        b = stage.apply(x, np.random.default_rng(seed + 1), start)
+        assert a.size == x.size
+        assert np.array_equal(a, b)
+
+    @given(st.sampled_from([s for s in IDENTITY_STAGES]),
+           st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_identity_config_is_passthrough(self, stage, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+        assert stage.is_identity
+        assert np.array_equal(stage.apply(x, rng), x)
+
+    @given(st.integers(0, 2**16), st.floats(0.3, 4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_clipper_output_power_bounded(self, seed, saturation):
+        rng = np.random.default_rng(seed)
+        x = 3.0 * (rng.standard_normal(400) + 1j * rng.standard_normal(400))
+        out = SoftClipper(saturation=saturation).apply(x, rng)
+        assert np.max(np.abs(out)) <= saturation + 1e-9
+
+    @given(st.integers(0, 2**16), st.floats(1.0, 10.0),
+           st.floats(0.5, 4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_quantizer_output_bounded_by_full_scale(self, seed, enob, fs):
+        rng = np.random.default_rng(seed)
+        x = 10.0 * (rng.standard_normal(300)
+                    + 1j * rng.standard_normal(300))
+        out = AdcQuantizer(enob=enob, full_scale=fs).apply(x, rng)
+        assert np.max(np.abs(out.real)) <= fs + 1e-9
+        assert np.max(np.abs(out.imag)) <= fs + 1e-9
+
+    @given(st.integers(0, 2**16), st.integers(8, 128),
+           st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_fading_unit_gain_normalization(self, seed, coherence, block):
+        """Rayleigh and Rician are specified unit-average-power: over many
+        coherence intervals the empirical power converges to 1."""
+        n = coherence * 256
+        ones = np.ones(n)
+        for stage in (RayleighFading(coherence, block=block),
+                      RicianFading(6.0, coherence, block=block)):
+            out = stage.apply(ones, np.random.default_rng(seed))
+            assert abs(np.mean(np.abs(out) ** 2) - 1.0) < 0.35
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_pipeline_composition_matches_manual_chain(self, seed):
+        """pipeline.apply == stage-by-stage application with the same RNG
+        stream — chaining adds nothing but order."""
+        rng = np.random.default_rng(seed)
+        stages = tuple(_sample_stage(k, rng)
+                       for k in ("rayleigh", "clip", "cw_tone"))
+        x = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        piped = ImpairmentPipeline(stages).apply(
+            x, np.random.default_rng(seed + 7), 13)
+        manual = x
+        chain_rng = np.random.default_rng(seed + 7)
+        for stage in stages:
+            manual = stage.apply(manual, chain_rng, 13)
+        assert np.array_equal(piped, manual)
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_channel_reconstruct_blind_to_impairments(self, seed):
+        """Channel.reconstruct stays deterministic and impairment-free:
+        the pipeline only distorts the forward path."""
+        rng = np.random.default_rng(seed)
+        pipe = ImpairmentPipeline((
+            _sample_stage("rician", rng), _sample_stage("dc_offset", rng)))
+        params = ChannelParams(gain=1.5 * np.exp(0.3j), freq_offset=1e-3,
+                               impairments=pipe)
+        bare = ChannelParams(gain=1.5 * np.exp(0.3j), freq_offset=1e-3)
+        x = np.exp(1j * np.linspace(0, 9, 200))
+        assert np.array_equal(
+            Channel(params, np.random.default_rng(seed)).reconstruct(x, 3),
+            Channel(bare, np.random.default_rng(seed)).reconstruct(x, 3))
 
 
 class TestFrameProperties:

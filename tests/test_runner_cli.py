@@ -68,6 +68,48 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "pair" in out and "schedule_failure" in out
+        assert "hidden_pair_fading" in out
+        assert "hidden_pair_frontend" in out
+
+    def test_run_impaired_scenario(self, tmp_path, capsys):
+        """End-to-end CLI smoke over a TOML file with [impairments]."""
+        path = tmp_path / "impaired.toml"
+        path.write_text("""
+[scenario]
+kind = "hidden_pair_fading"
+n_trials = 2
+seed = 3
+payload_bits = 200
+
+[[impairments.sender]]
+kind = "rayleigh"
+coherence_samples = 2000
+""")
+        assert main(["run", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "ber_zigzag" in payload["metrics"]
+        assert "ber_standard" in payload["metrics"]
+        assert payload["design"] == "n/a"
+
+    def test_sweep_impairment_stage_field(self, tmp_path, capsys):
+        """--param can address an impairment-stage field by dotted path."""
+        path = tmp_path / "impaired.toml"
+        path.write_text("""
+[scenario]
+kind = "hidden_pair_impaired"
+n_trials = 1
+seed = 5
+payload_bits = 200
+
+[[impairments.capture]]
+kind = "quantize"
+enob = 8.0
+""")
+        assert main(["sweep", str(path), "--json",
+                     "--param", "impairments.capture.0.enob=4,8"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["value"] for p in payload["points"]] == [4, 8]
+        assert all("ber_zigzag" in p["metrics"] for p in payload["points"])
 
     def test_missing_file_is_an_error(self, tmp_path, capsys):
         assert main(["run", str(tmp_path / "nope.toml")]) == 2

@@ -26,9 +26,8 @@ class TestPathLoss:
         model = LogDistancePathLoss()
         assert model.mean_loss_db(0.01) == model.mean_loss_db(1.0)
 
-    def test_shadowing_statistics(self):
+    def test_shadowing_statistics(self, rng):
         model = LogDistancePathLoss(shadowing_db=5.0)
-        rng = np.random.default_rng(0)
         samples = model.sample_loss_db(np.full(20_000, 10.0), rng)
         assert np.std(samples) == pytest.approx(5.0, rel=0.05)
 
@@ -63,9 +62,8 @@ class TestTopology:
         tb = Testbed(positions=np.zeros((2, 2)), snr_db=snr)
         assert tb.sensing_class(0, 1) is SensingClass.HIDDEN
 
-    def test_sample_pair_returns_reachable_ap(self):
+    def test_sample_pair_returns_reachable_ap(self, rng):
         tb = default_testbed(3)
-        rng = np.random.default_rng(0)
         a, b, ap = tb.sample_pair(rng)
         assert ap not in (a, b)
         assert tb.snr_db[ap, a] >= 3.0 and tb.snr_db[ap, b] >= 3.0

@@ -96,10 +96,10 @@ class TestRandomBits:
         b = random_bits(100, np.random.default_rng(7))
         assert np.array_equal(a, b)
 
-    def test_roughly_balanced(self):
-        bits = random_bits(10_000, np.random.default_rng(0))
+    def test_roughly_balanced(self, rng):
+        bits = random_bits(10_000, rng)
         assert 0.45 < bits.mean() < 0.55
 
-    def test_negative_rejected(self):
+    def test_negative_rejected(self, rng):
         with pytest.raises(ConfigurationError):
-            random_bits(-1, np.random.default_rng(0))
+            random_bits(-1, rng)

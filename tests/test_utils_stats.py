@@ -69,8 +69,8 @@ class TestConfidenceInterval:
 
 
 class TestRunningMean:
-    def test_matches_numpy(self):
-        data = np.random.default_rng(0).normal(size=100)
+    def test_matches_numpy(self, rng):
+        data = rng.normal(size=100)
         rm = RunningMean()
         rm.extend(data)
         assert rm.mean == pytest.approx(float(data.mean()))
