@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test cov smoke bench examples perfbench perfbench-smoke
+.PHONY: verify test cov smoke stream-smoke bench examples perfbench perfbench-smoke
 
 # The full gate: tier-1 tests plus a fast runner smoke sweep.
 verify: test smoke
@@ -29,6 +29,13 @@ smoke:
 		--trials 2 --workers 2
 	$(PYTHON) -m repro sweep examples/scenarios/capture_asymmetry.toml \
 		--trials 2 --param params.sinr_db=0:8:8 --metrics total
+
+# Tiny closed-loop soak through the CLI: continuous air, streaming
+# segmentation, collision-buffer matching and ACK feedback end to end
+# (the repro.link subsystem), ZigZag vs current-802.11 AP in one run.
+stream-smoke:
+	$(PYTHON) -m repro run examples/scenarios/ap_stream.toml \
+		--trials 1 --set n_packets=2
 
 # Regenerate every paper figure/table (slow; writes benchmarks/results/).
 bench:

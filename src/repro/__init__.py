@@ -22,6 +22,9 @@ Package layout:
   compared receiver designs.
 - :mod:`repro.analysis` — capacity region and error-decay theory.
 - :mod:`repro.core` — the assembled AP receiver (§5.1d flow control).
+- :mod:`repro.link` — the streaming closed-loop AP subsystem: continuous
+  air, burst segmentation, N-client sessions with live ACK feedback
+  (§4.2.2/§4.4 running as an online system).
 - :mod:`repro.runner` — the parallel Monte-Carlo runner: declarative
   :class:`~repro.runner.spec.ScenarioSpec`, process fan-out with
   deterministic seeding, and the ``python -m repro`` CLI. This is the

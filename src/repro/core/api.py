@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.phy.constellation import get_constellation
 from repro.phy.estimation import ChannelEstimate
 from repro.phy.frame import HEADER_BITS
@@ -44,7 +44,8 @@ from repro.zigzag.engine import PacketSpec, PlacementParams
 from repro.zigzag.match import match_score
 from repro.zigzag.sic import SicDecoder
 
-__all__ = ["ClientTable", "ReceiverConfig", "ZigZagReceiver"]
+__all__ = ["ClientTable", "ReceiverConfig", "ReceiverStats",
+           "ZigZagReceiver"]
 
 
 @dataclass
@@ -103,6 +104,12 @@ class ReceiverConfig:
     track_phase: bool = True
     use_equalizer: bool = True
     buffer_capacity: int = 4
+    # Age (in receive() calls) after which a stored collision is pruned.
+    # 802.11 retransmissions arrive within a few receptions of the
+    # original collision (§4.2.2), so a record this old can never match —
+    # it only wastes buffer scans. None disables age pruning (the
+    # pre-streaming behaviour); the streaming session driver enables it.
+    buffer_max_age: int | None = None
     expected_symbols: int | None = None
 
     def stream_config(self) -> StreamConfig:
@@ -116,6 +123,26 @@ class ReceiverConfig:
         )
 
 
+@dataclass
+class ReceiverStats:
+    """Running counters of one receiver's life on the air.
+
+    The streaming session driver (:mod:`repro.link`) surfaces these per
+    soak run; they are also what distinguishes "ZigZag never engaged"
+    from "ZigZag engaged and failed" when a scenario underdelivers.
+    """
+
+    captures: int = 0
+    clean_decodes: int = 0
+    collisions_detected: int = 0
+    collisions_stored: int = 0
+    zigzag_matches: int = 0
+    sic_decodes: int = 0
+    short_alignments: int = 0   # stored records skipped as unscoreable
+    evictions_capacity: int = 0
+    evictions_age: int = 0
+
+
 class ZigZagReceiver:
     """A best-effort 802.11 AP receiver with ZigZag collision decoding."""
 
@@ -123,6 +150,7 @@ class ZigZagReceiver:
         self.config = config or ReceiverConfig()
         cfg = self.config
         self.clients = ClientTable()
+        self.stats = ReceiverStats()
         self.buffer = CollisionBuffer(cfg.buffer_capacity)
         self.detector = CollisionDetector(cfg.preamble, cfg.shaper,
                                           beta=cfg.collision_beta)
@@ -144,6 +172,8 @@ class ZigZagReceiver:
         matches a stored one resolves both packets at once.
         """
         y = np.asarray(samples, dtype=complex).ravel()
+        self.stats.captures += 1
+        self._prune_stale()
         verdict = self.detector.inspect(y, self.clients.candidates())
         if not verdict.peaks:
             return []
@@ -155,6 +185,7 @@ class ZigZagReceiver:
         result = self.standard.decode(y, start_position=strongest.position)
         if result.success:
             self._learn(result)
+            self.stats.clean_decodes += 1
             # Even on success, a genuinely buried second packet may be
             # recoverable (capture scenario); the SIC path inside
             # _handle_collision covers that when decoding *fails*, and a
@@ -162,8 +193,18 @@ class ZigZagReceiver:
             return [result]
 
         if len(verdict.peaks) >= 2:
+            self.stats.collisions_detected += 1
             return self._handle_collision(y, verdict)
         return [result] if result.bits.size else []
+
+    def _prune_stale(self) -> None:
+        """Age out stored collisions whose match window has passed."""
+        max_age = self.config.buffer_max_age
+        if max_age is None:
+            return
+        cutoff = self.stats.captures - max_age
+        self.stats.evictions_age += self.buffer.prune(
+            lambda record: record.meta.get("rx", cutoff) >= cutoff)
 
     # ------------------------------------------------------------------
     def _learn(self, result: DecodeResult) -> None:
@@ -218,6 +259,7 @@ class ZigZagReceiver:
                          for p in placements}
                 results = self.sic.decode(y, specs, placements)
                 if all(r.success for r in results.values()):
+                    self.stats.sic_decodes += 1
                     return list(results.values())
 
         # (b) match against stored collisions and ZigZag-decode.
@@ -228,9 +270,18 @@ class ZigZagReceiver:
             d_new = verdict.offset
             if d_new is None or abs(d_new - d_old) < 2:
                 continue  # identical offsets are undecodable (§4.5)
-            score = match_score(
-                record.samples, record.peaks[1].position,
-                y, verdict.peaks[1].position, cfg.match_window)
+            try:
+                score = match_score(
+                    record.samples, record.peaks[1].position,
+                    y, verdict.peaks[1].position, cfg.match_window)
+            except ConfigurationError:
+                # A second peak near the tail of either capture leaves
+                # fewer than the minimum aligned samples to score — that
+                # record simply cannot be matched against this collision.
+                # Treat it as "no match" and keep scanning instead of
+                # aborting the whole receive call.
+                self.stats.short_alignments += 1
+                continue
             if score < cfg.match_threshold:
                 continue
             old_placements = self._acquire_placements(
@@ -242,13 +293,18 @@ class ZigZagReceiver:
             outcome = self.pair_decoder.decode(
                 [record.samples, y], specs, placements)
             if any(r.success for r in outcome.results.values()):
-                self.buffer.remove(record)
+                assert self.buffer.remove(record), \
+                    "matched collision record vanished from the buffer"
+                self.stats.zigzag_matches += 1
                 for result in outcome.results.values():
                     self._learn(result)
                 return list(outcome.results.values())
 
         # (c) no match: store and wait for the retransmissions.
-        self.buffer.add(y, verdict.peaks)
+        if len(self.buffer) == self.config.buffer_capacity:
+            self.stats.evictions_capacity += 1
+        self.buffer.add(y, verdict.peaks, meta={"rx": self.stats.captures})
+        self.stats.collisions_stored += 1
         return []
 
 

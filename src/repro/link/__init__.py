@@ -1,0 +1,34 @@
+"""Streaming closed-loop AP subsystem: continuous air -> bursts -> ACKs.
+
+The online system of §4.2.2/§4.4: a bounded-memory sample stream
+(:mod:`~repro.link.air`), a streaming burst segmenter
+(:mod:`~repro.link.segmenter`), design-agnostic AP adapters
+(:mod:`~repro.link.aps`) and the N-client closed-loop session driver
+(:mod:`~repro.link.session`). The runner's ``ap_stream`` and
+``offered_load`` scenarios are built on :class:`LinkSession`.
+"""
+
+from repro.link.air import AirConfig, ContinuousAir
+from repro.link.aps import StandardAp, ZigZagAp, build_ap
+from repro.link.segmenter import Burst, BurstSegmenter, SegmenterConfig
+from repro.link.session import (
+    LinkSession,
+    SessionConfig,
+    SessionReport,
+    StreamClient,
+)
+
+__all__ = [
+    "AirConfig",
+    "Burst",
+    "BurstSegmenter",
+    "ContinuousAir",
+    "LinkSession",
+    "SegmenterConfig",
+    "SessionConfig",
+    "SessionReport",
+    "StandardAp",
+    "StreamClient",
+    "ZigZagAp",
+    "build_ap",
+]

@@ -1,0 +1,127 @@
+"""Bounded-memory continuous air: the medium as a sample *stream*.
+
+The one-shot :func:`repro.phy.medium.synthesize` materializes a whole
+capture at once, which caps an experiment at "one collision per call". A
+real AP front end instead sees an endless sample stream in which packets
+start whenever their senders' MACs fire. :class:`ContinuousAir` models
+exactly that: transmissions are scheduled at absolute sample offsets, and
+the receiver side pulls fixed-size chunks — noise plus whatever scheduled
+waveforms overlap the chunk. Only waveforms that still overlap un-emitted
+samples stay resident, so memory is bounded by the longest in-flight
+transmission plus one chunk, never by session length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phy.impairments import ImpairmentPipeline
+from repro.phy.medium import Transmission, channel_waveform
+from repro.phy.noise import awgn
+
+__all__ = ["AirConfig", "ContinuousAir"]
+
+
+@dataclass(frozen=True)
+class AirConfig:
+    """Knobs of the streamed medium."""
+
+    noise_power: float = 1.0
+    chunk_samples: int = 2048
+    # Optional AP front-end pipeline (clipping, quantization, IQ
+    # imbalance, interferers), applied per chunk with the chunk's absolute
+    # start index so index-parameterized stages stay continuous across
+    # chunk boundaries.
+    impairments: ImpairmentPipeline | None = None
+
+    def __post_init__(self) -> None:
+        if self.noise_power <= 0:
+            raise ConfigurationError("noise_power must be positive")
+        if self.chunk_samples < 1:
+            raise ConfigurationError("chunk_samples must be >= 1")
+
+
+class ContinuousAir:
+    """Schedules transmissions and emits the received stream in chunks.
+
+    ``schedule`` accepts a :class:`~repro.phy.medium.Transmission` whose
+    ``offset`` is an *absolute* sample index on the session clock; the
+    sender's channel realization (gain phase, phase noise, tx EVM,
+    per-sender impairments) is drawn immediately, anchored at that offset.
+    ``emit`` then produces the next chunk of received samples: complex
+    AWGN plus every overlapping waveform. Scheduling into already-emitted
+    time is an error — the stream is causal.
+    """
+
+    def __init__(self, config: AirConfig,
+                 rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+        self._active: list[tuple[int, np.ndarray]] = []  # (start, waveform)
+        self._cursor = 0            # absolute index of the next new sample
+        self.samples_emitted = 0
+        self.max_resident_samples = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cursor(self) -> int:
+        """Absolute index of the first not-yet-emitted sample."""
+        return self._cursor
+
+    @property
+    def horizon(self) -> int:
+        """Absolute end of the last scheduled waveform (>= cursor)."""
+        if not self._active:
+            return self._cursor
+        return max(start + wave.size for start, wave in self._active)
+
+    @property
+    def resident_samples(self) -> int:
+        """Waveform samples currently held (the memory bound)."""
+        return sum(wave.size for _, wave in self._active)
+
+    # ------------------------------------------------------------------
+    def schedule(self, transmission: Transmission) -> int:
+        """Place a transmission on the air; returns its waveform length.
+
+        The transmission's channel is realized now, so callers get the
+        airtime the packet will actually occupy (pulse-shaping tails and
+        channel dispersion included).
+        """
+        if transmission.offset < self._cursor:
+            raise ConfigurationError(
+                f"transmission at {transmission.offset} predates emitted "
+                f"air (cursor {self._cursor})")
+        waveform = channel_waveform(transmission, self.rng)
+        self._active.append((transmission.offset, waveform))
+        self.max_resident_samples = max(self.max_resident_samples,
+                                        self.resident_samples)
+        return waveform.size
+
+    def emit(self, n_samples: int | None = None) -> np.ndarray:
+        """The next *n_samples* (default one chunk) of received signal."""
+        n = self.config.chunk_samples if n_samples is None else n_samples
+        if n < 1:
+            raise ConfigurationError("emit needs a positive sample count")
+        t0, t1 = self._cursor, self._cursor + n
+        chunk = awgn(n, self.config.noise_power, self.rng)
+        finished = []
+        for slot, (start, wave) in enumerate(self._active):
+            end = start + wave.size
+            if start < t1 and t0 < end:
+                lo = max(start, t0)
+                hi = min(end, t1)
+                chunk[lo - t0:hi - t0] += wave[lo - start:hi - start]
+            if end <= t1:
+                finished.append(slot)
+        for slot in reversed(finished):
+            del self._active[slot]
+        front = self.config.impairments
+        if front is not None and not front.is_identity:
+            chunk = front.apply(chunk, self.rng, t0)
+        self._cursor = t1
+        self.samples_emitted += n
+        return chunk

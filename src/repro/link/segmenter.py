@@ -1,0 +1,183 @@
+"""Streaming burst segmentation: carving captures out of continuous air.
+
+The AP's receive chain (collision detection, standard decode, ZigZag)
+operates on *captures* — sample buffers that each hold one reception or
+collision. On a continuous stream someone has to find those buffers:
+:class:`BurstSegmenter` watches chunk after chunk of received samples,
+opens a burst when short-window power rises above the noise floor, and
+closes it when a longer hang window of near-noise samples confirms the
+air went quiet (two thresholds, so envelope dips inside a packet don't
+split it). Bursts that straddle chunk boundaries are carried over; the
+only state kept between chunks is the open burst (capped at
+``max_burst_samples``) plus a small tail of history for the moving
+averages and leading pad — the full stream is never materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SegmenterConfig", "Burst", "BurstSegmenter"]
+
+
+@dataclass(frozen=True)
+class SegmenterConfig:
+    """Energy-hysteresis knobs, all relative to the known noise floor."""
+
+    noise_power: float = 1.0
+    open_factor: float = 3.0    # short-window power to open a burst
+    close_factor: float = 1.8   # hang-window power to close it again
+    open_window: int = 16
+    hang_window: int = 64
+    pad: int = 16               # leading context samples kept per burst
+    max_burst_samples: int = 1 << 17
+
+    def __post_init__(self) -> None:
+        if self.noise_power <= 0:
+            raise ConfigurationError("noise_power must be positive")
+        if not 0 < self.close_factor < self.open_factor:
+            raise ConfigurationError(
+                "need 0 < close_factor < open_factor (hysteresis)")
+        if min(self.open_window, self.hang_window, self.pad) < 1:
+            raise ConfigurationError("windows and pad must be >= 1")
+        if self.max_burst_samples < 4 * self.hang_window:
+            raise ConfigurationError("max_burst_samples too small")
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One segmented capture: samples plus its place on the stream."""
+
+    samples: np.ndarray
+    start: int              # absolute index of samples[0]
+    truncated: bool = False  # force-closed at max_burst_samples
+
+    @property
+    def end(self) -> int:
+        return self.start + self.samples.size
+
+
+class BurstSegmenter:
+    """Push chunks in, get completed bursts out.
+
+    ``push`` returns every burst *completed* by that chunk (possibly
+    none, possibly several); ``flush`` closes a still-open burst at end
+    of stream. Samples are float-compared against two causal moving
+    averages of instantaneous power — an ``open_window`` mean crossing
+    ``open_factor × noise`` opens, a ``hang_window`` mean dropping below
+    ``close_factor × noise`` closes, so the close point trails the true
+    packet end by roughly one hang window of silence (which the decode
+    chain wants as tail context anyway).
+    """
+
+    def __init__(self, config: SegmenterConfig) -> None:
+        self.config = config
+        k = max(config.open_window, config.hang_window) + config.pad
+        self._history = np.zeros(0, dtype=complex)  # last k stream samples
+        self._history_len = k
+        self._pos = 0               # absolute index of the next pushed sample
+        self._open: list[np.ndarray] | None = None
+        self._open_len = 0
+        self._open_start = 0
+        self._prev_end = 0          # absolute end of the last closed burst
+        self.bursts_emitted = 0
+        self.forced_closes = 0
+        self.max_resident_samples = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self._open is not None
+
+    @property
+    def resident_samples(self) -> int:
+        return self._history.size + self._open_len
+
+    # ------------------------------------------------------------------
+    def _causal_mean(self, power: np.ndarray, window: int,
+                     n_out: int) -> np.ndarray:
+        """Causal *window*-sample mean for the last *n_out* positions."""
+        cs = np.concatenate(([0.0], np.cumsum(power)))
+        idx = np.arange(power.size - n_out, power.size)
+        lo = np.maximum(idx + 1 - window, 0)
+        return (cs[idx + 1] - cs[lo]) / np.maximum(idx + 1 - lo, 1)
+
+    def push(self, chunk) -> list[Burst]:
+        """Consume one chunk; return bursts completed inside it."""
+        cfg = self.config
+        chunk = np.asarray(chunk, dtype=complex).ravel()
+        if chunk.size == 0:
+            return []
+        joined = np.concatenate([self._history, chunk])
+        carry = joined.size - chunk.size      # history samples prepended
+        power = np.abs(joined) ** 2
+        open_cond = (self._causal_mean(power, cfg.open_window, chunk.size)
+                     >= cfg.open_factor * cfg.noise_power)
+        close_cond = (self._causal_mean(power, cfg.hang_window, chunk.size)
+                      < cfg.close_factor * cfg.noise_power)
+
+        out: list[Burst] = []
+        i = 0
+        while i < chunk.size:
+            if self._open is None:
+                hits = np.flatnonzero(open_cond[i:])
+                if hits.size == 0:
+                    break
+                j = i + int(hits[0])
+                # Reach back for leading context: the detector fired one
+                # open-window after the packet edge, so pull window + pad
+                # samples of history (never into the previous burst).
+                back = cfg.open_window + cfg.pad
+                start_abs = max(self._pos + j - back, self._prev_end)
+                lead_lo = carry + j - (self._pos + j - start_abs)
+                self._open = [joined[lead_lo:carry + j + 1].copy()]
+                self._open_len = self._open[0].size
+                self._open_start = start_abs
+                i = j + 1
+            else:
+                # Don't allow the leading silence still inside the hang
+                # window to close a burst that just opened.
+                guard = self._open_start + cfg.hang_window - self._pos
+                lo = max(i, guard, 0)
+                hits = np.flatnonzero(close_cond[lo:]) \
+                    if lo < chunk.size else np.zeros(0, int)
+                if hits.size == 0:
+                    self._open.append(chunk[i:].copy())
+                    self._open_len += chunk.size - i
+                    i = chunk.size
+                    if self._open_len >= cfg.max_burst_samples:
+                        out.append(self._close(truncated=True))
+                else:
+                    j = lo + int(hits[0])
+                    self._open.append(chunk[i:j + 1].copy())
+                    self._open_len += j + 1 - i
+                    truncated = self._open_len >= cfg.max_burst_samples
+                    out.append(self._close(truncated=truncated))
+                    i = j + 1
+        self._pos += chunk.size
+        self._history = joined[-self._history_len:].copy()
+        self.max_resident_samples = max(self.max_resident_samples,
+                                        self.resident_samples)
+        return out
+
+    def flush(self) -> list[Burst]:
+        """Close any still-open burst at end of stream."""
+        if self._open is None:
+            return []
+        return [self._close(truncated=False)]
+
+    # ------------------------------------------------------------------
+    def _close(self, truncated: bool) -> Burst:
+        burst = Burst(samples=np.concatenate(self._open),
+                      start=self._open_start, truncated=truncated)
+        self._prev_end = burst.end
+        self._open = None
+        self._open_len = 0
+        self.bursts_emitted += 1
+        if truncated:
+            self.forced_closes += 1
+        return burst

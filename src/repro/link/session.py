@@ -1,0 +1,504 @@
+"""The closed-loop AP session: N clients, continuous air, live feedback.
+
+This is the paper's §4.2.2/§4.4 system actually *running as a system*:
+clients contend for the medium with slotted DCF-style backoff (hidden
+pairs cannot sense each other and collide), their packets land on a
+:class:`~repro.link.air.ContinuousAir` stream, a
+:class:`~repro.link.segmenter.BurstSegmenter` carves receptions out of
+the stream, and the AP decodes each burst. Decoded packets are ACKed a
+SIFS after the burst — for ZigZag-resolved pairs only when the offset
+between the colliding packets admits the synchronous-ACK scheme of
+Lemma 4.4.1 (otherwise the earlier-finishing sender misses its ACK and
+retransmits; the AP recognizes the duplicate and ACKs it then). Senders
+that miss an ACK retransmit the *same* frame with fresh backoff jitter —
+which is exactly what lands the retransmission back in the AP's
+collision-buffer match path and lets ZigZag resolve the stored collision.
+
+Everything is sample-clocked: MAC slots, SIFS/ACK durations
+(:mod:`repro.mac.timing` scaled onto the sample clock), packet airtime,
+and ACK timeouts. Memory stays bounded for arbitrarily long sessions —
+the air holds only in-flight waveforms, the segmenter only the open
+burst, and the collision buffer ages out stale records.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.api import ReceiverConfig, ReceiverStats
+from repro.errors import ConfigurationError
+from repro.link.air import AirConfig, ContinuousAir
+from repro.link.aps import build_ap
+from repro.link.segmenter import BurstSegmenter, SegmenterConfig
+from repro.mac.ack import AckPlanner
+from repro.mac.backoff import BackoffPicker, FixedWindowBackoff
+from repro.mac.timing import TIMING_80211G, Timing
+from repro.phy.channel import ChannelParams
+from repro.phy.frame import Frame
+from repro.phy.impairments import ImpairmentPipeline
+from repro.phy.medium import Transmission
+from repro.phy.preamble import Preamble, default_preamble
+from repro.phy.pulse import PulseShaper
+from repro.testbed.metrics import BER_DELIVERY_THRESHOLD, FlowStats
+from repro.utils.bits import random_bits
+
+__all__ = ["StreamClient", "SessionConfig", "SessionReport", "LinkSession"]
+
+# Client MAC states.
+_WAIT, _CONTEND, _TX, _AWAIT_ACK, _DONE = range(5)
+
+
+@dataclass(frozen=True)
+class StreamClient:
+    """One associated client: identity, link budget, traffic model."""
+
+    name: str
+    src: int
+    snr_db: float
+    freq_offset: float = 0.0
+    # Fraction of one packet-airtime this client offers per packet-airtime
+    # (Poisson arrivals with mean gap ``packet_samples / offered_load``);
+    # None means saturated — a fresh packet the instant the previous one
+    # resolves.
+    offered_load: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.offered_load is not None and not 0 < self.offered_load <= 1:
+            raise ConfigurationError("offered_load must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Knobs of one closed-loop session."""
+
+    payload_bits: int = 240
+    n_packets: int = 6               # packets per client
+    max_attempts: int = 6            # transmissions per packet before drop
+    noise_power: float = 1.0
+    slot_samples: int = 20
+    timing: Timing = TIMING_80211G
+    backoff: BackoffPicker = field(
+        default_factory=lambda: FixedWindowBackoff(16))
+    phase_noise_std: float = 1e-3
+    tx_evm: float = 0.03
+    coarse_freq_error: float = 1.5e-5
+    sense_probability: float = 0.0   # pairwise, drawn once per session
+    # Explicit topology: client-name pairs that can NOT sense each other,
+    # with every other pair sensing perfectly. Overrides
+    # sense_probability. This is how a "hidden-pair-dominated" scenario
+    # is pinned down deterministically (mutual 3-way hidden collisions
+    # are the §4.5 N-collision regime, beyond the pair decoder).
+    hidden_pairs: tuple[tuple[str, str], ...] | None = None
+    modulation: str = "bpsk"
+    preamble_length: int = 32
+    chunk_samples: int = 1024
+    buffer_max_age: int = 24         # receiver prunes older stored collisions
+    segmenter: SegmenterConfig | None = None   # None: derived defaults
+    sender_impairments: ImpairmentPipeline | None = None
+    capture_impairments: ImpairmentPipeline | None = None
+    ack_timeout_samples: int | None = None     # None: derived (see below)
+    max_samples: int | None = None             # safety cap; None: derived
+
+    def __post_init__(self) -> None:
+        if self.n_packets < 1 or self.max_attempts < 1:
+            raise ConfigurationError("counts must be positive")
+        if self.slot_samples < 1 or self.chunk_samples < 1:
+            raise ConfigurationError("sample counts must be positive")
+
+
+@dataclass
+class SessionReport:
+    """What one session produced, AP-side."""
+
+    design: str
+    flows: dict[str, FlowStats]
+    samples_elapsed: int
+    packet_samples: int
+    receiver_stats: ReceiverStats
+    counters: dict[str, float]
+    timed_out: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def airtime_packets(self) -> float:
+        """Session length in packet-airtime units (the throughput base)."""
+        return self.samples_elapsed / max(self.packet_samples, 1)
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(s.delivered for s in self.flows.values())
+
+    def throughput(self, name: str | None = None) -> float:
+        """Delivered packets per packet-airtime of elapsed medium time."""
+        shared = max(self.airtime_packets, 1e-9)
+        if name is None:
+            return self.total_delivered / shared
+        return self.flows[name].delivered / shared
+
+
+class _ClientState:
+    """Mutable MAC state of one client inside a running session."""
+
+    def __init__(self, client: StreamClient, session: "LinkSession") -> None:
+        self.client = client
+        self.session = session
+        self.state = _WAIT
+        self.packets_done = 0
+        self.seq = -1
+        self.frame: Frame | None = None
+        self.attempt = 0
+        self.attempts_used = 0
+        self.backoff = 0
+        self.tx_end = 0
+        self.ack_deadline = 0
+        self.next_arrival = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> tuple[int, int]:
+        # Wrapped like the on-air header's seq field, so AP-side decode
+        # keys (which come from parsed headers) keep matching past 4096
+        # packets. Only one packet per client is in flight at a time, and
+        # per-packet state is pruned at resolution, so reuse is safe.
+        return (self.client.src, self.seq % 4096)
+
+    def _begin_packet(self, now: int) -> None:
+        s = self.session
+        self.seq += 1
+        payload = random_bits(s.config.payload_bits, s.rng)
+        self.frame = Frame.make(payload, src=self.client.src,
+                                seq=self.seq % 4096,
+                                modulation=s.config.modulation,
+                                preamble=s.preamble)
+        s.truth[self.key] = self.frame.body_bits
+        self.attempt = 0
+        self.attempts_used = 0
+        self.backoff = s.config.backoff.pick(0, s.rng)
+        self.state = _CONTEND
+        if self.client.offered_load is not None:
+            gap = s.rng.exponential(
+                s.packet_samples / self.client.offered_load)
+            self.next_arrival = self.next_arrival + int(gap)
+
+    def _resolve(self, now: int) -> None:
+        """Close out the current packet (acked, dropped, or cut off)."""
+        s = self.session
+        ber = s.decode_ber.pop(self.key, 1.0)
+        s.flows[self.client.name].record(ber, airtime=self.attempts_used)
+        if ber >= BER_DELIVERY_THRESHOLD:
+            s.counters["packets_lost"] += 1
+        # Per-packet bookkeeping dies with the packet — sessions stay
+        # bounded in memory no matter how long they run (late ACKs and
+        # duplicate decodes for a resolved key are simply ignored).
+        s.truth.pop(self.key, None)
+        s.tx_log.pop(self.key, None)
+        s.acked.discard(self.key)
+        self.packets_done += 1
+        self.frame = None
+        if self.packets_done >= s.config.n_packets:
+            self.state = _DONE
+        else:
+            self.state = _WAIT
+
+    def step(self, now: int) -> None:
+        s = self.session
+        if self.state == _DONE:
+            return
+        if self.state == _WAIT:
+            if now >= self.next_arrival:
+                self._begin_packet(now)
+            return
+        if self.state == _CONTEND:
+            if self.key in s.acked:       # late ACK beat the retransmission
+                self._resolve(now)
+                return
+            if s.medium_busy_for(self):
+                return                    # freeze backoff, medium sensed busy
+            if self.backoff > 0:
+                self.backoff -= 1
+                return
+            self._transmit(now)
+            return
+        if self.state == _TX:
+            if now >= self.tx_end:
+                if self.key in s.acked:   # ACK landed mid-transmission
+                    self._resolve(now)
+                else:
+                    self.state = _AWAIT_ACK
+                    self.ack_deadline = self.tx_end + s.ack_timeout
+            return
+        if self.state == _AWAIT_ACK:
+            if self.key in s.acked:
+                self._resolve(now)
+                return
+            if now >= self.ack_deadline:
+                s.counters["ack_timeouts"] += 1
+                self.attempt += 1
+                if self.attempt >= s.config.max_attempts:
+                    s.counters["packets_dropped"] += 1
+                    self._resolve(now)
+                else:
+                    self.backoff = s.config.backoff.pick(self.attempt, s.rng)
+                    self.state = _CONTEND
+
+    def _transmit(self, now: int) -> None:
+        s = self.session
+        cfg = s.config
+        amplitude = np.sqrt(10.0 ** (self.client.snr_db / 10.0)
+                            * cfg.noise_power)
+        params = ChannelParams(
+            gain=amplitude * np.exp(1j * s.rng.uniform(0, 2 * np.pi)),
+            freq_offset=self.client.freq_offset,
+            sampling_offset=float(s.rng.uniform(0, 1)),
+            phase_noise_std=cfg.phase_noise_std,
+            tx_evm=cfg.tx_evm,
+            impairments=cfg.sender_impairments,
+        )
+        tx = Transmission.from_symbols(self.frame.symbols, s.shaper,
+                                       params, now, self.client.name)
+        length = s.air.schedule(tx)
+        self.tx_end = now + length
+        self.attempts_used += 1
+        s.tx_log[self.key] = (now, self.tx_end)
+        s.counters["transmissions"] += 1
+        self.state = _TX
+
+
+class LinkSession:
+    """Drive one closed-loop session to completion (see module docstring)."""
+
+    def __init__(self, config: SessionConfig, clients: list[StreamClient],
+                 design: str = "zigzag",
+                 rng: np.random.Generator | None = None,
+                 preamble: Preamble | None = None,
+                 shaper: PulseShaper | None = None) -> None:
+        if not clients:
+            raise ConfigurationError("session needs at least one client")
+        if len({c.src for c in clients}) != len(clients):
+            raise ConfigurationError("client src ids must be unique")
+        self.config = config
+        self.design = design
+        self.rng = rng or np.random.default_rng(0)
+        if preamble is not None and len(preamble) != config.preamble_length:
+            raise ConfigurationError(
+                "injected preamble length differs from config")
+        self.preamble = preamble or default_preamble(config.preamble_length)
+        self.shaper = shaper or PulseShaper()
+
+        # Sample-clocked 802.11 timing.
+        spu = config.slot_samples / config.timing.slot_us
+        self.sifs = max(1, round(config.timing.sifs_us * spu))
+        self.ack_air = max(1, round(config.timing.ack_us * spu))
+
+        # Every packet in a session is the same length: probe it once.
+        probe = Frame.make(np.zeros(config.payload_bits, dtype=np.uint8),
+                           src=1, modulation=config.modulation,
+                           preamble=self.preamble)
+        self.packet_samples = self.shaper.shape(probe.symbols).size
+        self.expected_symbols = probe.n_symbols
+
+        seg_cfg = config.segmenter or SegmenterConfig(
+            noise_power=config.noise_power)
+        if config.ack_timeout_samples is not None:
+            self.ack_timeout = config.ack_timeout_samples
+        else:
+            # Worst-case ACK lag: the colliding partner may finish up to a
+            # contention window later, the segmenter closes a hang window
+            # after silence, and the burst is only processed at the next
+            # chunk boundary.
+            jitter = config.backoff.window(0) * config.slot_samples
+            self.ack_timeout = (jitter + seg_cfg.hang_window
+                                + config.chunk_samples + self.sifs
+                                + self.ack_air + 4 * config.slot_samples)
+
+        self.air = ContinuousAir(
+            AirConfig(noise_power=config.noise_power,
+                      chunk_samples=config.chunk_samples,
+                      impairments=config.capture_impairments), self.rng)
+        self.segmenter = BurstSegmenter(seg_cfg)
+        self.ap = build_ap(design, ReceiverConfig(
+            preamble=self.preamble, shaper=self.shaper,
+            noise_power=config.noise_power,
+            expected_symbols=self.expected_symbols,
+            buffer_max_age=config.buffer_max_age))
+        self.planner = AckPlanner(config.timing)
+        self._spu = spu
+
+        # Association (§4.2.1): the AP holds a coarse frequency estimate
+        # for every client, as obtained at association time.
+        for client in clients:
+            self.ap.clients.update(
+                client.src,
+                client.freq_offset
+                + float(self.rng.normal(0, config.coarse_freq_error)))
+
+        self.clients = [_ClientState(c, self) for c in clients]
+        self._by_src = {c.client.src: c for c in self.clients}
+
+        # Pairwise sensing, fixed for the whole session: hidden pairs stay
+        # hidden, which is the paper's topology model.
+        n = len(clients)
+        names = [c.name for c in clients]
+        if config.hidden_pairs is not None:
+            unknown = {name for pair in config.hidden_pairs
+                       for name in pair} - set(names)
+            if unknown:
+                raise ConfigurationError(
+                    f"hidden_pairs names unknown clients: {sorted(unknown)}")
+            hidden = {frozenset(pair) for pair in config.hidden_pairs}
+            sense = np.ones((n, n), dtype=bool)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if frozenset((names[i], names[j])) in hidden:
+                        sense[i, j] = sense[j, i] = False
+        else:
+            sense = np.zeros((n, n), dtype=bool)
+            for i in range(n):
+                for j in range(i + 1, n):
+                    sense[i, j] = sense[j, i] = \
+                        self.rng.uniform() < config.sense_probability
+        self._sense = sense
+        self._index = {c.client.src: i for i, c in enumerate(self.clients)}
+
+        self.flows = {c.name: FlowStats() for c in clients}
+        self.truth: dict[tuple[int, int], np.ndarray] = {}
+        self.decode_ber: dict[tuple[int, int], float] = {}
+        self.acked: set[tuple[int, int]] = set()
+        self.tx_log: dict[tuple[int, int], tuple[int, int]] = {}
+        self._ack_queue: list[tuple[int, int, int]] = []  # (time, src, seq)
+        self.counters: dict[str, float] = {
+            "transmissions": 0, "bursts": 0, "acks": 0,
+            "acks_infeasible": 0, "duplicate_decodes": 0,
+            "ack_timeouts": 0, "packets_dropped": 0, "packets_lost": 0,
+            "unresolved_at_cap": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def medium_busy_for(self, state: _ClientState) -> bool:
+        i = self._index[state.client.src]
+        return any(other.state == _TX and self._sense[i, self._index[
+            other.client.src]]
+            for other in self.clients if other is not state)
+
+    # ------------------------------------------------------------------
+    def _process_burst(self, burst, now: int) -> None:
+        self.counters["bursts"] += 1
+        results = [r for r in self.ap.receive(burst.samples)
+                   if r.header is not None
+                   and r.header.src in self._by_src]
+        if not results:
+            return
+        for result in results:
+            key = (result.header.src, result.header.seq)
+            truth = self.truth.get(key)
+            if truth is None:
+                continue
+            ber = result.ber_against(truth)
+            if key in self.decode_ber and key in self.acked:
+                self.counters["duplicate_decodes"] += 1
+            self.decode_ber[key] = min(self.decode_ber.get(key, 1.0), ber)
+
+        ackable = self._plan_acks(results)
+        base = max(now, burst.end + self.sifs)
+        for rank, key in enumerate(ackable):
+            # Successive ACKs are serialized on the air (Fig 4-5): SIFS +
+            # ACK per earlier ACK of the same burst.
+            at = base + rank * (self.sifs + self.ack_air)
+            heapq.heappush(self._ack_queue, (at, key[0], key[1]))
+            self.counters["acks"] += 1
+
+    def _plan_acks(self, results) -> list[tuple[int, int]]:
+        """Which decoded packets can be synchronously ACKed (§4.4)."""
+        keys = [(r.header.src, r.header.seq) for r in results]
+        if len(keys) < 2:
+            return keys
+        # A resolved pair: Lemma 4.4.1 — the earlier-finishing packet can
+        # only be ACKed if the other packet's tail exceeds SIFS + ACK.
+        # Use the MAC truth of each sender's latest transmission.
+        spans = [self.tx_log.get(key) for key in keys]
+        if any(span is None for span in spans):
+            return keys
+        order = sorted(range(len(keys)), key=lambda i: spans[i][1])
+        first, second = order[0], order[-1]
+        offset_us = max(0.0, (spans[second][0] - spans[first][0])
+                        / self._spu)
+        plan = self.planner.plan(
+            offset_us,
+            (spans[first][1] - spans[first][0]) / self._spu,
+            (spans[second][1] - spans[second][0]) / self._spu)
+        if plan.feasible:
+            return keys
+        # The first-finishing sender misses its ACK (still transmitting
+        # neighbours drown it); it will retransmit and the AP, already
+        # holding the packet, ACKs the duplicate immediately.
+        self.counters["acks_infeasible"] += 1
+        return [keys[i] for i in order[1:]]
+
+    def _deliver_acks(self, now: int) -> None:
+        while self._ack_queue and self._ack_queue[0][0] <= now:
+            _, src, seq = heapq.heappop(self._ack_queue)
+            # ACKs for already-resolved packets are dropped rather than
+            # remembered: a stale entry would otherwise satisfy the same
+            # (src, seq mod 4096) key when it is reused much later.
+            if (src, seq) in self.truth:
+                self.acked.add((src, seq))
+
+    # ------------------------------------------------------------------
+    def run(self) -> SessionReport:
+        cfg = self.config
+        started = time.perf_counter()
+        slot = cfg.slot_samples
+        now = 0
+        next_chunk_end = cfg.chunk_samples
+        if cfg.max_samples is not None:
+            max_samples = cfg.max_samples
+        else:
+            per_attempt = (self.packet_samples + self.ack_timeout
+                           + cfg.backoff.window(0) * slot)
+            total_attempts = (len(self.clients) * cfg.n_packets
+                              * cfg.max_attempts)
+            max_samples = 2 * total_attempts * per_attempt \
+                + 8 * cfg.chunk_samples
+        timed_out = False
+        while any(c.state != _DONE for c in self.clients):
+            if now >= max_samples:
+                timed_out = True
+                break
+            self._deliver_acks(now)
+            for client in self.clients:
+                client.step(now)
+            now += slot
+            while now >= next_chunk_end:
+                chunk = self.air.emit(cfg.chunk_samples)
+                for burst in self.segmenter.push(chunk):
+                    self._process_burst(burst, now)
+                next_chunk_end += cfg.chunk_samples
+        if timed_out:
+            for client in self.clients:
+                if client.state not in (_DONE, _WAIT):
+                    self.counters["unresolved_at_cap"] += 1
+                    client._resolve(now)
+        for burst in self.segmenter.flush():
+            self._process_burst(burst, now)
+
+        stats = self.ap.stats
+        counters = dict(self.counters)
+        counters["max_resident_samples"] = float(
+            self.air.max_resident_samples
+            + self.segmenter.max_resident_samples)
+        counters["samples_emitted"] = float(self.air.samples_emitted)
+        counters["forced_closes"] = float(self.segmenter.forced_closes)
+        return SessionReport(
+            design=self.design,
+            flows=self.flows,
+            samples_elapsed=now,
+            packet_samples=self.packet_samples,
+            receiver_stats=stats,
+            counters=counters,
+            timed_out=timed_out,
+            elapsed_s=time.perf_counter() - started,
+        )

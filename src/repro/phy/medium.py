@@ -17,7 +17,7 @@ from repro.phy.channel import Channel, ChannelParams
 from repro.phy.impairments import ImpairmentPipeline
 from repro.phy.noise import awgn
 
-__all__ = ["Transmission", "Capture", "synthesize"]
+__all__ = ["Transmission", "Capture", "channel_waveform", "synthesize"]
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,21 @@ class Capture:
         return len(self.transmissions) > 1
 
 
+def channel_waveform(transmission: Transmission,
+                     rng: np.random.Generator) -> np.ndarray:
+    """One transmission's waveform as the AP receives it (noise-free).
+
+    Draws this transmission's channel realization (phase noise, tx EVM,
+    per-sender impairments) from *rng*, anchored at the transmission's
+    arrival offset so time-indexed impairments (SFO drift, fading) stay
+    consistent with its position on the air. Shared by the one-shot
+    :func:`synthesize` and the streaming :class:`repro.link.ContinuousAir`.
+    """
+    channel = Channel(transmission.params, rng)
+    return channel.apply(transmission.samples,
+                         start_sample=transmission.offset)
+
+
 def synthesize(transmissions: list[Transmission], noise_power: float,
                rng: np.random.Generator, *, tail: int = 16,
                leading: int = 0,
@@ -115,8 +130,7 @@ def synthesize(transmissions: list[Transmission], noise_power: float,
     buffer = np.zeros(total, dtype=complex)
     components = []
     for t in transmissions:
-        channel = Channel(t.params, rng)
-        waveform = channel.apply(t.samples, start_sample=t.offset)
+        waveform = channel_waveform(t, rng)
         start = leading + t.offset
         buffer[start:start + waveform.size] += waveform
         component = np.zeros(total, dtype=complex)

@@ -19,7 +19,11 @@ from repro.phy.correlation import CorrelationPeak
 __all__ = ["CollisionRecord", "CollisionBuffer"]
 
 
-@dataclass
+# eq=False: records compare (and are removed) by identity. The generated
+# field-wise __eq__ would compare the sample arrays, which raises on
+# numpy's ambiguous truth value the moment deque.remove scans *past* a
+# different record — silently leaving matched records in the buffer.
+@dataclass(eq=False)
 class CollisionRecord:
     """One stored collision: raw samples plus detected packet starts."""
 
@@ -63,11 +67,32 @@ class CollisionBuffer:
         self._records.append(record)
         return record
 
-    def remove(self, record: CollisionRecord) -> None:
+    def remove(self, record: CollisionRecord) -> bool:
+        """Remove *record*; True when it was present.
+
+        Callers that just matched a record must assert on the return value
+        — a False here means the record was already evicted or removed, a
+        logic error in the caller's bookkeeping, not a benign no-op.
+        """
         try:
             self._records.remove(record)
         except ValueError:
-            pass
+            return False
+        return True
+
+    def prune(self, keep) -> int:
+        """Drop every record for which ``keep(record)`` is falsy.
+
+        Returns the number of records dropped. Used by long-running
+        receivers to age out collisions whose retransmission window has
+        passed (a stale record can never match, it only wastes scans).
+        """
+        survivors = [r for r in self._records if keep(r)]
+        dropped = len(self._records) - len(survivors)
+        if dropped:
+            self._records.clear()
+            self._records.extend(survivors)
+        return dropped
 
     def newest_first(self) -> list[CollisionRecord]:
         """Candidates for matching, most recent first (retransmissions are

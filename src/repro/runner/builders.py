@@ -5,21 +5,30 @@ placements) for trial functions that drive the ZigZag machinery directly,
 below the :class:`~repro.testbed.experiment.PairExperiment` level.
 Promoted from the test helpers so benchmarks no longer reach into
 ``tests/``; ``tests/helpers.py`` re-exports them.
+
+:func:`build_stream_session` is the declarative front of the streaming
+closed-loop subsystem: it maps a :class:`~repro.runner.spec.ScenarioSpec`
+onto a :class:`~repro.link.LinkSession` (clients from ``[[sender]]``
+entries or ``params.n_clients``, topology from ``params.hidden_pairs``,
+session knobs from ``[params]``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+from repro.link import LinkSession, SessionConfig, StreamClient
 from repro.phy.channel import ChannelParams
 from repro.phy.constellation import BPSK
 from repro.phy.frame import Frame
 from repro.phy.medium import Transmission, synthesize
 from repro.phy.sync import Synchronizer
+from repro.runner.cache import cached_preamble, cached_shaper
 from repro.utils.bits import random_bits
 from repro.zigzag.engine import PacketSpec, PlacementParams
 
-__all__ = ["hidden_pair_scenario"]
+__all__ = ["build_stream_session", "hidden_pair_scenario"]
 
 
 def hidden_pair_scenario(rng, preamble, shaper, *, snr_db=12.0,
@@ -89,3 +98,85 @@ def hidden_pair_scenario(rng, preamble, shaper, *, snr_db=12.0,
     specs = {name: PacketSpec(name, frames[name].n_symbols, BPSK)
              for name in frames}
     return captures, frames, specs, placements
+
+
+_CLIENT_NAMES = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _parse_hidden_pairs(text) -> tuple[tuple[str, str], ...]:
+    """``"A:B,B:C"`` -> ``(("A", "B"), ("B", "C"))``."""
+    pairs = []
+    for piece in str(text).split(","):
+        a, sep, b = piece.strip().partition(":")
+        if not sep or not a or not b:
+            raise ConfigurationError(
+                f"hidden_pairs must look like 'A:B,B:C', got {text!r}")
+        pairs.append((a.strip(), b.strip()))
+    return tuple(pairs)
+
+
+def build_stream_session(spec, rng: np.random.Generator, design: str,
+                         default_load: float | None = None) -> LinkSession:
+    """A :class:`~repro.link.LinkSession` from a declarative spec.
+
+    Clients come from the spec's ``[[sender]]`` entries (name, SNR,
+    optional fixed ``freq_offset`` and per-client ``offered_load``); with
+    none declared, ``params.n_clients`` (default 3) symmetric clients
+    named A, B, C, ... at ``params.snr_db`` are created. Frequency
+    offsets not pinned by the spec are drawn from ± ``channel.
+    freq_spread`` with *rng* — build the two compared designs' sessions
+    from identically-seeded generators for common random numbers.
+
+    Recognized ``[params]`` extras: ``n_clients``, ``snr_db``,
+    ``max_attempts``, ``chunk_samples``, ``buffer_max_age``,
+    ``hidden_pairs`` (e.g. ``"A:B"``; every unlisted pair then senses
+    perfectly), ``offered_load`` (via *default_load*).
+    """
+    spread = spec.channel.freq_spread
+    if spec.senders:
+        entries = [(s.name, s.snr_db, s.freq_offset,
+                    s.offered_load if s.offered_load is not None
+                    else default_load)
+                   for s in spec.senders]
+    else:
+        n_clients = int(spec.param("n_clients", 3))
+        if not 1 <= n_clients <= len(_CLIENT_NAMES):
+            raise ConfigurationError(
+                f"params.n_clients must be in [1, {len(_CLIENT_NAMES)}]")
+        snr = float(spec.param("snr_db", 12.0))
+        entries = [(_CLIENT_NAMES[i], snr, None, default_load)
+                   for i in range(n_clients)]
+    clients = [
+        StreamClient(
+            name=name, src=i + 1, snr_db=snr,
+            freq_offset=(freq if freq is not None
+                         else float(rng.uniform(-spread, spread))),
+            offered_load=load)
+        for i, (name, snr, freq, load) in enumerate(entries)
+    ]
+    hidden = spec.param("hidden_pairs")
+    imp = spec.impairments
+    config = SessionConfig(
+        payload_bits=spec.payload_bits,
+        n_packets=spec.n_packets,
+        max_attempts=int(spec.param("max_attempts", 6)),
+        noise_power=spec.channel.noise_power,
+        slot_samples=spec.slot_samples,
+        backoff=spec.backoff.build(),
+        phase_noise_std=spec.channel.phase_noise_std,
+        tx_evm=spec.channel.tx_evm,
+        coarse_freq_error=spec.channel.coarse_freq_error,
+        sense_probability=spec.sense_probability,
+        hidden_pairs=(_parse_hidden_pairs(hidden)
+                      if hidden is not None else None),
+        modulation=spec.modulation,
+        preamble_length=spec.preamble_length,
+        chunk_samples=int(spec.param("chunk_samples", 1024)),
+        buffer_max_age=int(spec.param("buffer_max_age", 24)),
+        sender_impairments=(imp.sender_pipeline() if imp.sender else None),
+        capture_impairments=(imp.capture_pipeline()
+                             if imp.capture else None),
+    )
+    return LinkSession(config, clients, design=design, rng=rng,
+                       preamble=cached_preamble(spec.preamble_length),
+                       shaper=cached_shaper())

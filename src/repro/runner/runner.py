@@ -120,7 +120,8 @@ class MonteCarloRunner:
                 f"scenario {spec.kind!r} does not apply the spec's "
                 "[impairments] table; running it would silently ignore "
                 "the pipelines (impairment-aware scenarios: pair, "
-                "capture, testbed_pair, hidden_pair_*)")
+                "capture, testbed_pair, hidden_pair_*, ap_stream, "
+                "offered_load)")
         indices = list(range(spec.n_trials))
         started = time.perf_counter()
         if self.n_workers == 1 or len(indices) <= 1:

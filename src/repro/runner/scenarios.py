@@ -28,7 +28,7 @@ from repro.phy.medium import Transmission, synthesize
 from repro.phy.sync import Synchronizer
 from repro.receiver.decoder import StandardDecoder
 from repro.receiver.frontend import StreamConfig, SymbolStreamDecoder
-from repro.runner.builders import hidden_pair_scenario
+from repro.runner.builders import build_stream_session, hidden_pair_scenario
 from repro.runner.cache import cached_preamble, cached_shaper, shared_cache
 from repro.runner.results import TrialResult
 from repro.runner.seeding import trial_rng, trial_seed, trial_seed_sequence
@@ -142,6 +142,21 @@ def available_scenarios() -> dict[str, str]:
 # ----------------------------------------------------------------------
 # Built-in scenarios
 # ----------------------------------------------------------------------
+def _fairness_ratio(values) -> float:
+    """Max/min throughput ratio, with a defined degenerate value.
+
+    A trial where *every* sender got zero throughput is total starvation,
+    not unfairness — report the perfectly-even ratio 1.0 rather than the
+    0.0 that ``max/max(min, eps)`` would produce (which reads as "more
+    fair than equal shares" to anything aggregating the metric).
+    """
+    values = [float(v) for v in values]
+    top = max(values)
+    if top <= 0.0:
+        return 1.0
+    return top / max(min(values), 1e-9)
+
+
 def _experiment_config(spec: ScenarioSpec) -> PairExperimentConfig:
     ch = spec.channel
     imp = spec.impairments
@@ -238,8 +253,7 @@ def three_senders_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
     metrics = {f"throughput_{name}": value for name, value in tput.items()}
     values = list(tput.values())
     metrics["throughput_total"] = float(sum(values))
-    metrics["fairness_ratio"] = float(
-        max(values) / max(min(values), 1e-9))
+    metrics["fairness_ratio"] = _fairness_ratio(values)
     return metrics
 
 
@@ -460,6 +474,80 @@ def receiver_stream_trial(spec: ScenarioSpec, ctx: TrialContext) -> dict:
     return {"packets_recovered": float(len(decoded)),
             "mean_ber": float(np.mean(bers)) if bers else 1.0,
             "packets_recovered_80211": float(baseline_delivered)}
+
+
+# ----------------------------------------------------------------------
+# Streaming closed-loop scenarios (the repro.link subsystem)
+# ----------------------------------------------------------------------
+def _stream_designs_trial(spec: ScenarioSpec, ctx: TrialContext,
+                          default_load: float | None) -> TrialResult:
+    """One closed-loop soak under BOTH AP designs, common random numbers.
+
+    Each design's session is built from an identically-seeded generator,
+    so the air starts out the same and differences are the receiver's
+    doing (the closed loop then diverges through its own feedback). The
+    per-client metrics describe the ZigZag session — the design under
+    study — while aggregate throughput/loss/delivered pairs compare it
+    with the Current-802.11 AP on the same scenario.
+    """
+    reports = {}
+    for design, tag in (("zigzag", "zigzag"), ("802.11", "80211")):
+        session = build_stream_session(
+            spec, np.random.default_rng(ctx.seed), design,
+            default_load=default_load)
+        reports[tag] = session.run()
+    metrics: dict[str, float] = {}
+    flows = {}
+    for tag, report in reports.items():
+        stats_all = list(report.flows.values())
+        metrics[f"throughput_{tag}"] = report.throughput()
+        metrics[f"delivered_{tag}"] = float(report.total_delivered)
+        metrics[f"loss_{tag}"] = float(np.mean(
+            [s.loss_rate for s in stats_all])) if stats_all else 0.0
+        metrics[f"timed_out_{tag}"] = float(report.timed_out)
+        for name, stats in report.flows.items():
+            flows[f"{tag}_{name}"] = stats
+    zz = reports["zigzag"]
+    for name in zz.flows:
+        metrics[f"throughput_{name}"] = zz.throughput(name)
+        metrics[f"loss_{name}"] = zz.flows[name].loss_rate
+    rx = zz.receiver_stats
+    metrics["zigzag_matches"] = float(rx.zigzag_matches)
+    metrics["collisions_stored"] = float(rx.collisions_stored)
+    metrics["max_resident_samples"] = zz.counters["max_resident_samples"]
+    extra = {tag: dict(report.counters)
+             for tag, report in reports.items()}
+    return TrialResult(index=ctx.index, metrics=metrics, flows=flows,
+                       airtime=zz.airtime_packets, extra=extra)
+
+
+@scenario("ap_stream", designs=None, impairments=True)
+def ap_stream_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
+    """N-client closed-loop streaming soak: ZigZag AP vs current 802.11.
+
+    Continuous air, streaming burst segmentation, live ACK/retransmission
+    feedback (§4.2.2, §4.4) — the paper's online system rather than
+    hand-built collision pairs. Saturated clients unless the spec sets
+    per-sender ``offered_load``. Topology via ``params.hidden_pairs``
+    (e.g. ``"A:B"``) or ``sense_probability``. Metrics: per-client
+    throughput/loss (ZigZag session) plus aggregate
+    ``throughput/delivered/loss_{zigzag,80211}`` comparison pairs.
+    """
+    return _stream_designs_trial(spec, ctx, default_load=None)
+
+
+@scenario("offered_load", designs=None, impairments=True)
+def offered_load_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
+    """One point of a throughput/loss-vs-offered-load curve.
+
+    Clients offer ``params.offered_load`` (default 0.6) of a packet-
+    airtime each (Poisson arrivals); sweep it with
+    ``--param offered_load=0.2:1.0:0.2`` for the classic S-vs-G curves
+    of the ZigZag AP against the current-802.11 AP. Metrics match
+    ``ap_stream``.
+    """
+    load = float(spec.param("offered_load", 0.6))
+    return _stream_designs_trial(spec, ctx, default_load=load)
 
 
 # ----------------------------------------------------------------------

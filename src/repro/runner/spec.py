@@ -70,6 +70,10 @@ class SenderSpec:
     name: str
     snr_db: float
     freq_offset: float | None = None  # None: drawn from +/- channel.freq_spread
+    # Streaming scenarios only: fraction of one packet-airtime this
+    # client offers per packet-airtime. None = saturated (or the
+    # scenario's default load for ``offered_load`` sweeps).
+    offered_load: float | None = None
 
 
 @dataclass(frozen=True)

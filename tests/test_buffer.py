@@ -33,12 +33,37 @@ class TestBuffer:
     def test_remove_and_clear(self):
         buffer = CollisionBuffer()
         record = buffer.add(np.ones(4, complex), [peak(0), peak(5)])
-        buffer.remove(record)
+        assert buffer.remove(record) is True
         assert len(buffer) == 0
-        buffer.remove(record)  # idempotent
+        # A second remove is a no-op but must *report* the miss — callers
+        # assert on it to surface double-remove logic errors.
+        assert buffer.remove(record) is False
         buffer.add(np.ones(4, complex), [peak(0), peak(5)])
         buffer.clear()
         assert len(buffer) == 0
+
+    def test_remove_scans_past_other_records(self):
+        """Regression: removing a record stored *behind* others used to
+        fail silently — the dataclass-generated __eq__ compared sample
+        arrays and raised numpy's ambiguous-truth ValueError, which the
+        old code swallowed. Records now compare by identity."""
+        buffer = CollisionBuffer(capacity=4)
+        buffer.add(np.ones(4, complex), [peak(0), peak(5)])
+        target = buffer.add(2 * np.ones(4, complex), [peak(0), peak(7)])
+        buffer.add(3 * np.ones(4, complex), [peak(0), peak(9)])
+        assert buffer.remove(target) is True
+        assert len(buffer) == 2
+        assert all(r is not target for r in buffer)
+
+    def test_prune(self):
+        buffer = CollisionBuffer(capacity=4)
+        for i in range(3):
+            buffer.add(np.ones(4, complex), [peak(0), peak(5 + i)],
+                       meta={"rx": i})
+        dropped = buffer.prune(lambda r: r.meta["rx"] >= 2)
+        assert dropped == 2
+        assert [r.meta["rx"] for r in buffer] == [2]
+        assert buffer.prune(lambda r: True) == 0
 
     def test_sequence_increments(self):
         buffer = CollisionBuffer()

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import ClientTable, ReceiverConfig, ZigZagReceiver
 from repro.phy.channel import ChannelParams
+from repro.phy.correlation import CorrelationPeak
 from repro.phy.frame import Frame
 from repro.phy.medium import Transmission, synthesize
 from repro.utils.bits import random_bits
@@ -123,3 +124,142 @@ class TestReceiverFlow:
         # Identical offsets are undecodable; the new collision is stored.
         assert results == []
         assert len(receiver.buffer) == 2
+
+
+def make_frames(rng, preamble, srcs=(1, 2), bits=200):
+    return {f"s{src}": Frame.make(random_bits(bits, rng), src=src,
+                                  preamble=preamble)
+            for src in srcs}
+
+
+def pair_receiver(preamble, shaper, n_symbols, freqs, **overrides):
+    config = ReceiverConfig(preamble=preamble, shaper=shaper,
+                            noise_power=1.0, expected_symbols=n_symbols,
+                            **overrides)
+    receiver = ZigZagReceiver(config)
+    for src, freq in freqs.items():
+        receiver.clients.update(src, freq)
+    return receiver
+
+
+class TestCollisionBufferLifecycle:
+    """The store / match-and-remove / evict / skip paths the streaming
+    session leans on (§4.2.2, §4.5)."""
+
+    def test_store_on_no_match(self, preamble, shaper, rng):
+        """Collisions of *different* packet pairs do not match: both get
+        stored, nothing is decoded."""
+        freqs = {1: 3e-3, 2: -2e-3, 3: 1e-3, 4: -1e-3}
+        frames1 = make_frames(rng, preamble, srcs=(1, 2))
+        frames2 = make_frames(rng, preamble, srcs=(3, 4))
+        receiver = pair_receiver(preamble, shaper,
+                                 next(iter(frames1.values())).n_symbols,
+                                 freqs)
+        cap1 = collision_capture(frames1, shaper, rng, (0, 160),
+                                 {"s1": freqs[1], "s2": freqs[2]})
+        cap2 = collision_capture(frames2, shaper, rng, (0, 60),
+                                 {"s3": freqs[3], "s4": freqs[4]})
+        assert receiver.receive(cap1.samples) == []
+        assert receiver.receive(cap2.samples) == []
+        assert len(receiver.buffer) == 2
+        assert receiver.stats.collisions_stored == 2
+        assert receiver.stats.zigzag_matches == 0
+
+    def test_match_removes_record_and_counts(self, preamble, shaper, rng):
+        freqs = {1: 3e-3, 2: -2e-3}
+        frames = make_frames(rng, preamble)
+        receiver = pair_receiver(preamble, shaper,
+                                 frames["s1"].n_symbols, freqs)
+        named_freqs = {"s1": freqs[1], "s2": freqs[2]}
+        cap1 = collision_capture(frames, shaper, rng, (0, 160), named_freqs)
+        cap2 = collision_capture(frames, shaper, rng, (0, 60), named_freqs)
+        receiver.receive(cap1.samples)
+        results = receiver.receive(cap2.samples)
+        assert len(results) == 2
+        assert len(receiver.buffer) == 0
+        assert receiver.stats.zigzag_matches == 1
+
+    def test_fifo_eviction_at_capacity(self, preamble, shaper, rng):
+        """The oldest record is evicted once the buffer is full, and the
+        eviction is counted."""
+        freqs = {i: f for i, f in zip(range(1, 9),
+                                      (3e-3, -2e-3, 1e-3, -1e-3,
+                                       2e-3, -3e-3, 1.5e-3, -1.5e-3))}
+        receiver = None
+        first_record = None
+        for pair in ((1, 2), (3, 4), (5, 6), (7, 8)):
+            frames = make_frames(rng, preamble, srcs=pair)
+            if receiver is None:
+                receiver = pair_receiver(
+                    preamble, shaper,
+                    next(iter(frames.values())).n_symbols, freqs,
+                    buffer_capacity=2)
+            named = {n: freqs[src] for n, src in
+                     zip(frames, pair)}
+            receiver.receive(collision_capture(
+                frames, shaper, rng, (0, 160), named).samples)
+            if first_record is None and len(receiver.buffer):
+                first_record = next(iter(receiver.buffer))
+        assert len(receiver.buffer) == 2
+        assert first_record not in list(receiver.buffer)
+        assert receiver.stats.evictions_capacity >= 1
+
+    def test_identical_offset_skipped_not_matched(self, preamble, shaper,
+                                                  rng):
+        """§4.5: same-offset collisions are undecodable — the receiver
+        must store the new one rather than attempt the match."""
+        freqs = {1: 3e-3, 2: -2e-3}
+        frames = make_frames(rng, preamble)
+        receiver = pair_receiver(preamble, shaper,
+                                 frames["s1"].n_symbols, freqs)
+        named_freqs = {"s1": freqs[1], "s2": freqs[2]}
+        for _ in range(2):
+            receiver.receive(collision_capture(
+                frames, shaper, rng, (0, 100), named_freqs).samples)
+        assert len(receiver.buffer) == 2
+        assert receiver.stats.zigzag_matches == 0
+
+    def test_age_pruning(self, preamble, shaper, rng):
+        """buffer_max_age: stale records are dropped as the stream moves
+        on (retransmissions arrive within a few receptions, §4.2.2)."""
+        freqs = {1: 3e-3, 2: -2e-3}
+        frames = make_frames(rng, preamble)
+        receiver = pair_receiver(preamble, shaper,
+                                 frames["s1"].n_symbols, freqs,
+                                 buffer_max_age=2)
+        named_freqs = {"s1": freqs[1], "s2": freqs[2]}
+        receiver.receive(collision_capture(
+            frames, shaper, rng, (0, 160), named_freqs).samples)
+        assert len(receiver.buffer) == 1
+        for _ in range(4):   # noise-only receives advance the clock
+            noise = (rng.standard_normal(600)
+                     + 1j * rng.standard_normal(600)) / np.sqrt(2)
+            receiver.receive(noise)
+        assert len(receiver.buffer) == 0
+        assert receiver.stats.evictions_age == 1
+
+    def test_short_alignment_record_skipped(self, preamble, shaper, rng):
+        """Regression: a stored record whose second peak sits at the tail
+        of its capture used to abort the whole receive call — match_score
+        sees < 8 aligned samples and raises. It must count as 'no match'
+        and the scan must continue."""
+        freqs = {1: 3e-3, 2: -2e-3}
+        frames = make_frames(rng, preamble)
+        receiver = pair_receiver(preamble, shaper,
+                                 frames["s1"].n_symbols, freqs)
+        # Hand-craft a pathological record: second packet "starting"
+        # three samples before the capture ends.
+        short = (rng.standard_normal(400)
+                 + 1j * rng.standard_normal(400)) / np.sqrt(2)
+        receiver.buffer.add(short, [
+            CorrelationPeak(position=0, fine_offset=0.0,
+                            value=1.0 + 0j, score=0.9),
+            CorrelationPeak(position=397, fine_offset=0.0,
+                            value=1.0 + 0j, score=0.8)])
+        named_freqs = {"s1": freqs[1], "s2": freqs[2]}
+        capture = collision_capture(frames, shaper, rng, (0, 160),
+                                    named_freqs)
+        results = receiver.receive(capture.samples)   # must not raise
+        assert results == []
+        assert receiver.stats.short_alignments == 1
+        assert len(receiver.buffer) == 2   # pathological + new collision

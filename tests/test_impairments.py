@@ -350,7 +350,8 @@ enob = 6.0
                  if scenario_supports_impairments(name)}
         assert aware == {"pair", "capture", "testbed_pair",
                          "hidden_pair_impaired", "hidden_pair_fading",
-                         "hidden_pair_frontend"}
+                         "hidden_pair_frontend", "ap_stream",
+                         "offered_load"}
 
     def test_override_bad_path(self, spec):
         with pytest.raises(ConfigurationError, match="impairment override"):

@@ -1,0 +1,102 @@
+"""BurstSegmenter: streaming energy hysteresis with chunk-boundary carry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.link import BurstSegmenter, SegmenterConfig
+
+
+def push_chunked(segmenter, signal, chunk=128):
+    bursts = []
+    for i in range(0, len(signal), chunk):
+        bursts.extend(segmenter.push(signal[i:i + chunk]))
+    bursts.extend(segmenter.flush())
+    return bursts
+
+
+def block_signal(spans, total, amplitude=4.0):
+    """Zeros with constant-amplitude blocks at the given [lo, hi) spans."""
+    y = np.zeros(total, dtype=complex)
+    for lo, hi in spans:
+        y[lo:hi] = amplitude
+    return y
+
+
+class TestSegmenter:
+    def test_silence_yields_no_bursts(self, rng):
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        noise = (rng.standard_normal(4096)
+                 + 1j * rng.standard_normal(4096)) / np.sqrt(2)
+        assert push_chunked(seg, noise) == []
+
+    def test_single_block_one_burst(self):
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        signal = block_signal([(300, 900)], 2048)
+        bursts = push_chunked(seg, signal)
+        assert len(bursts) == 1
+        burst = bursts[0]
+        # The burst covers the whole block plus leading context.
+        assert burst.start <= 300
+        assert burst.end >= 900
+        assert not burst.truncated
+
+    def test_block_straddling_chunks_stays_whole(self):
+        """The carry path: a burst opened in one chunk closes in a later
+        one without splitting or losing samples."""
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        signal = block_signal([(100, 700)], 1400)
+        bursts = push_chunked(seg, signal, chunk=64)
+        assert len(bursts) == 1
+        assert bursts[0].start <= 100 and bursts[0].end >= 700
+
+    def test_two_separated_blocks_two_bursts(self):
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        signal = block_signal([(200, 600), (1000, 1400)], 2048)
+        bursts = push_chunked(seg, signal)
+        assert len(bursts) == 2
+        assert bursts[0].end <= bursts[1].start
+
+    def test_envelope_dip_does_not_split(self):
+        """Hysteresis: a short dip inside a packet (below the open
+        threshold but shorter than the hang window) keeps one burst."""
+        cfg = SegmenterConfig(noise_power=1.0, hang_window=64)
+        signal = block_signal([(200, 500), (520, 800)], 1400)
+        bursts = push_chunked(BurstSegmenter(cfg), signal)
+        assert len(bursts) == 1
+
+    def test_force_close_bounds_burst_length(self):
+        cfg = SegmenterConfig(noise_power=1.0, max_burst_samples=512)
+        seg = BurstSegmenter(cfg)
+        signal = block_signal([(100, 3000)], 3400)
+        bursts = push_chunked(seg, signal)
+        assert seg.forced_closes >= 1
+        assert all(b.samples.size <= 512 + 256 for b in bursts)
+        # Every signal sample still lands in some burst (no gaps).
+        covered = sum(b.samples.size for b in bursts)
+        assert covered >= 2900
+
+    def test_memory_stays_bounded(self, rng):
+        """Residency is capped by the open burst + history, regardless of
+        how much silence streams through."""
+        cfg = SegmenterConfig(noise_power=1.0, max_burst_samples=1024)
+        seg = BurstSegmenter(cfg)
+        for _ in range(50):
+            noise = (rng.standard_normal(512)
+                     + 1j * rng.standard_normal(512)) / np.sqrt(2)
+            seg.push(noise)
+        assert seg.max_resident_samples < 1024 + 512 + 256
+
+    def test_absolute_positions(self):
+        """Burst.start is an absolute stream index, not chunk-relative."""
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        signal = block_signal([(5000, 5400)], 6000)
+        bursts = push_chunked(seg, signal, chunk=256)
+        assert len(bursts) == 1
+        assert 4900 <= bursts[0].start <= 5000
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SegmenterConfig(open_factor=1.0, close_factor=2.0)
+        with pytest.raises(ConfigurationError):
+            SegmenterConfig(noise_power=0.0)

@@ -1,0 +1,114 @@
+"""LinkSession: the closed loop actually closing (§4.2.2, §4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.link import LinkSession, SessionConfig, StreamClient
+
+
+def hidden_pair_clients():
+    return [StreamClient("A", 1, 12.0, 3e-3),
+            StreamClient("B", 2, 12.0, -2e-3)]
+
+
+def run_session(design, clients=None, seed=1, **overrides):
+    defaults = dict(n_packets=3, payload_bits=200)
+    defaults.update(overrides)
+    session = LinkSession(SessionConfig(**defaults),
+                          clients or hidden_pair_clients(),
+                          design=design, rng=np.random.default_rng(seed))
+    return session.run()
+
+
+class TestClosedLoop:
+    def test_hidden_pair_zigzag_resolves_via_matching(self):
+        """Collide, store, retransmit, match, decode, ACK: the paper's
+        core loop, driven end to end by the session itself."""
+        report = run_session("zigzag")
+        assert not report.timed_out
+        assert report.receiver_stats.zigzag_matches > 0
+        for name in ("A", "B"):
+            stats = report.flows[name]
+            assert stats.sent == 3
+            assert stats.delivered == 3
+
+    def test_zigzag_beats_80211_on_hidden_pair(self):
+        """Same seed, same scenario, the two AP designs head to head."""
+        zz = run_session("zigzag")
+        std = run_session("802.11")
+        assert zz.total_delivered > std.total_delivered
+        assert zz.throughput() > std.throughput()
+
+    def test_sensing_clients_never_collide(self):
+        """With perfect carrier sensing the DCF serializes the medium:
+        packets decode standalone and ZigZag never engages."""
+        report = run_session("zigzag", sense_probability=1.0)
+        assert report.receiver_stats.zigzag_matches == 0
+        assert report.total_delivered == 6
+        assert all(s.loss_rate == 0.0 for s in report.flows.values())
+
+    def test_three_clients_hidden_pair_dominated(self):
+        clients = hidden_pair_clients() + [StreamClient("C", 3, 11.0, 1e-3)]
+        report = run_session("zigzag", clients=clients,
+                             hidden_pairs=(("A", "B"),))
+        assert not report.timed_out
+        assert report.total_delivered >= 8   # out of 9
+        assert report.receiver_stats.zigzag_matches > 0
+
+    def test_memory_stays_bounded(self):
+        """The acceptance bound: nothing ever materializes the stream."""
+        session = LinkSession(SessionConfig(n_packets=5, payload_bits=200),
+                              hidden_pair_clients(), design="zigzag",
+                              rng=np.random.default_rng(1))
+        report = session.run()
+        resident = report.counters["max_resident_samples"]
+        emitted = report.counters["samples_emitted"]
+        assert emitted > 10_000
+        assert resident < 0.3 * emitted
+        # Per-packet bookkeeping is pruned at resolution, so session
+        # state does not grow with session length either.
+        assert session.truth == {}
+        assert session.decode_ber == {}
+        assert session.tx_log == {}
+        assert session.acked == set()
+
+    def test_low_offered_load_stretches_the_session(self):
+        """Poisson arrivals at low load leave the medium idle between
+        packets, so the same packet count takes more air."""
+        saturated = run_session("zigzag", sense_probability=1.0)
+        trickle = run_session(
+            "zigzag", sense_probability=1.0,
+            clients=[StreamClient("A", 1, 12.0, 3e-3, offered_load=0.05),
+                     StreamClient("B", 2, 12.0, -2e-3, offered_load=0.05)])
+        assert trickle.samples_elapsed > 1.5 * saturated.samples_elapsed
+        assert trickle.total_delivered == saturated.total_delivered
+
+    def test_deterministic_given_seed(self):
+        a = run_session("zigzag", seed=5)
+        b = run_session("zigzag", seed=5)
+        assert a.samples_elapsed == b.samples_elapsed
+        assert a.counters == b.counters
+        assert {n: s.delivered for n, s in a.flows.items()} \
+            == {n: s.delivered for n, s in b.flows.items()}
+
+
+class TestValidation:
+    def test_duplicate_src_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSession(SessionConfig(),
+                        [StreamClient("A", 1, 12.0),
+                         StreamClient("B", 1, 12.0)])
+
+    def test_unknown_hidden_pair_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSession(SessionConfig(hidden_pairs=(("A", "Z"),)),
+                        hidden_pair_clients())
+
+    def test_offered_load_range(self):
+        with pytest.raises(ConfigurationError):
+            StreamClient("A", 1, 12.0, offered_load=1.5)
+
+    def test_needs_clients(self):
+        with pytest.raises(ConfigurationError):
+            LinkSession(SessionConfig(), [])
