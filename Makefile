@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test cov smoke stream-smoke bench examples perfbench perfbench-smoke
+.PHONY: verify test cov lint smoke stream-smoke bench examples perfbench perfbench-smoke
 
 # The full gate: tier-1 tests plus a fast runner smoke sweep.
 verify: test smoke
@@ -21,6 +21,14 @@ cov:
 	$(PYTHON) -m pytest -q --cov=repro \
 		--cov-report=term-missing:skip-covered \
 		--cov-fail-under=$(COV_FLOOR)
+
+# Static lint (ruff, config in pyproject.toml). CI installs ruff and
+# fails on findings; locally the target explains itself when ruff is
+# missing rather than masquerading as a pass.
+lint:
+	@command -v ruff >/dev/null 2>&1 \
+		|| { echo "ruff not installed (pip install ruff); skipping lint"; exit 0; } \
+		&& ruff check src tests benchmarks examples
 
 # Fast end-to-end proof that the Monte-Carlo runner works: one scenario
 # run with 2 workers and one two-point sweep, straight from a TOML file.

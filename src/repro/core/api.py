@@ -2,13 +2,18 @@
 
 Implements the paper's implementation flow control (§5.1d):
 
-1. Detect a reception and try the standard decoder.
-2. Even when standard decoding succeeds, check for a buried second packet
-   (capture-effect collision) and try to recover it by SIC.
-3. If standard decoding fails, run collision detection (§4.2.1). On a
-   collision, search stored collisions for a match (§4.2.2); on a match,
-   ZigZag-decode the pair (§4.2.3); otherwise store the collision in case
-   it helps decode a future one.
+1. Detect a reception and try the standard decoder; a success ends the
+   flow (a correlation spike elsewhere in a cleanly-decoded packet is
+   treated as the false positive it almost always is).
+2. When standard decoding fails on a two-packet collision dominated by
+   one sender, try capture-effect SIC (Fig 4-1e): decode the strong
+   packet through the interference, subtract it, recover the weak one.
+3. Otherwise, run collision detection (§4.2.1). On a
+   collision, search stored collisions for matches (§4.2.2); on a match,
+   ZigZag-decode the collision set — pairs per §4.2.3, and k mutually
+   hidden senders across k collisions per §4.5, assembling the set from
+   the collision buffer's match graph; otherwise store the collision in
+   case it helps decode a future one.
 
 The receiver also maintains the per-client coarse frequency-offset table
 the paper describes ("the AP can maintain coarse estimates of the frequency
@@ -24,8 +29,10 @@ supported experiment entry point.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import permutations
 
 import numpy as np
+from scipy.optimize import linear_sum_assignment
 
 from repro.errors import ConfigurationError, ReproError
 from repro.phy.constellation import get_constellation
@@ -34,11 +41,11 @@ from repro.phy.frame import HEADER_BITS
 from repro.phy.preamble import Preamble, default_preamble
 from repro.phy.pulse import PulseShaper
 from repro.phy.sync import Synchronizer
-from repro.receiver.buffer import CollisionBuffer
+from repro.receiver.buffer import CollisionBuffer, CollisionRecord, gaps_close
 from repro.receiver.decoder import StandardDecoder
 from repro.receiver.frontend import StreamConfig
 from repro.receiver.result import DecodeResult
-from repro.zigzag.decoder import ZigZagPairDecoder
+from repro.zigzag.decoder import ZigZagMultiDecoder
 from repro.zigzag.detect import CollisionDetector
 from repro.zigzag.engine import PacketSpec, PlacementParams
 from repro.zigzag.match import match_score
@@ -111,6 +118,18 @@ class ReceiverConfig:
     # pre-streaming behaviour); the streaming session driver enables it.
     buffer_max_age: int | None = None
     expected_symbols: int | None = None
+    # Most packets a single collision may be decomposed into (the k of
+    # §4.5). The default keeps the historical pairwise detector: weaker
+    # third spikes on a two-packet collision are far more likely to be
+    # data sidelobes than real packets. Deployments with k mutually
+    # hidden clients (the streaming session derives this from its
+    # topology) raise it to k so k-way collision sets can form.
+    max_collision_packets: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_collision_packets < 2:
+            raise ConfigurationError(
+                "max_collision_packets must be >= 2")
 
     def stream_config(self) -> StreamConfig:
         """The equivalent chunk-decoder configuration."""
@@ -141,6 +160,20 @@ class ReceiverStats:
     short_alignments: int = 0   # stored records skipped as unscoreable
     evictions_capacity: int = 0
     evictions_age: int = 0
+    # Match-path observability: every stored record actually scored
+    # against a new collision counts one attempt; scores below the match
+    # threshold count a reject. "Buffer scanned but nothing cleared the
+    # bar" (attempts high, rejects == attempts) is therefore
+    # distinguishable from "nothing was ever scoreable" (attempts == 0)
+    # in soak runs.
+    match_attempts: int = 0
+    match_rejects_threshold: int = 0
+    # k-way (§4.5) counters: collision sets of three or more captures
+    # assembled from the buffer's match graph and handed to the multi
+    # decoder, and how many of those resolved at least one packet.
+    multiway_attempts: int = 0
+    multiway_matches: int = 0
+    packets_multiway: int = 0   # packets recovered by k-way decodes
 
 
 class ZigZagReceiver:
@@ -160,21 +193,27 @@ class ZigZagReceiver:
             cfg.preamble, cfg.shaper, noise_power=cfg.noise_power,
             sync_threshold=cfg.sync_threshold,
             track_phase=cfg.track_phase, use_equalizer=cfg.use_equalizer)
-        self.pair_decoder = ZigZagPairDecoder(
+        # One decoder serves every set size: the k-copy MRC only engages
+        # at three or more captures, so two-capture decodes are
+        # bit-identical to the historical ZigZagPairDecoder path.
+        self.multi_decoder = ZigZagMultiDecoder(
             cfg.stream_config(), use_backward=cfg.use_backward)
         self.sic = SicDecoder(cfg.stream_config())
 
     # ------------------------------------------------------------------
     def receive(self, samples) -> list[DecodeResult]:
-        """Process one capture; returns every packet decoded from it.
+        """Process one capture; returns every packet *successfully*
+        decoded from it — every returned result has ``success`` True.
 
         May return packets from *earlier* captures too: a collision that
-        matches a stored one resolves both packets at once.
+        matches stored ones resolves the whole collision set at once.
         """
         y = np.asarray(samples, dtype=complex).ravel()
         self.stats.captures += 1
         self._prune_stale()
-        verdict = self.detector.inspect(y, self.clients.candidates())
+        verdict = self.detector.inspect(
+            y, self.clients.candidates(),
+            max_packets=self.config.max_collision_packets)
         if not verdict.peaks:
             return []
 
@@ -195,7 +234,11 @@ class ZigZagReceiver:
         if len(verdict.peaks) >= 2:
             self.stats.collisions_detected += 1
             return self._handle_collision(y, verdict)
-        return [result] if result.bits.size else []
+        # Single peak, standard decode failed: nothing recovered. (This
+        # used to leak the *failed* DecodeResult into the return list
+        # whenever it carried bits, breaking the successes-only
+        # contract and inflating naive len() packet counts downstream.)
+        return []
 
     def _prune_stale(self) -> None:
         """Age out stored collisions whose match window has passed."""
@@ -216,8 +259,14 @@ class ZigZagReceiver:
     def _acquire_placements(self, y: np.ndarray, verdict,
                             collision_index: int
                             ) -> list[PlacementParams]:
+        """Channel placements for every detected peak in one capture.
+
+        Packet identity is positional: peak *i* (in arrival order) is
+        packet ``p{i}`` across every capture of a collision set — the
+        per-peak match scores are what validate that correspondence.
+        """
         placements = []
-        for i, peak in enumerate(verdict.peaks[:2]):
+        for i, peak in enumerate(verdict.peaks):
             best: ChannelEstimate | None = None
             for freq in self.clients.candidates():
                 est = self.synchronizer.acquire(
@@ -232,8 +281,18 @@ class ZigZagReceiver:
         return placements
 
     def _frame_symbols(self, y: np.ndarray, peak) -> int | None:
-        """Peek the frame length from an interference-free header, or fall
-        back to the configured expectation."""
+        """Frame extent in symbols for the packets of this collision.
+
+        When the deployment pins a uniform frame length
+        (``expected_symbols``, as the streaming session does) that is
+        authoritative: the PLCP-like header carries no checksum, so a
+        header peeked *through* interference can parse into a plausible
+        garbage length and poison the whole collision set. Without a
+        configured expectation, peek a standard decode at the packet
+        start (interference-free headers decode fine).
+        """
+        if self.config.expected_symbols is not None:
+            return self.config.expected_symbols
         try:
             result = self.standard.decode(y, start_position=peak.position)
         except ReproError:
@@ -243,15 +302,355 @@ class ZigZagReceiver:
             tail = result.header.payload_bits + 32
             return (len(self.config.preamble) + HEADER_BITS
                     + (tail + k - 1) // k)
-        return self.config.expected_symbols
+        return None
+
+    def _pair_score(self, record: CollisionRecord,
+                    probe: CollisionRecord) -> float:
+        """The historical §4.2.2 identity score: align the two captures
+        at their second-peak positions and correlate. Raises
+        :class:`ConfigurationError` on a short alignment."""
+        window = self.config.match_window
+        return match_score(record.samples, record.peaks[1].position,
+                           probe.samples, probe.peaks[1].position, window)
+
+    def _peak_alignment(self, record: CollisionRecord,
+                        probe: CollisionRecord
+                        ) -> tuple[float, tuple[int, ...] | None]:
+        """Best peak correspondence between two same-k collisions.
+
+        Retransmission jitter freely reorders the senders' arrival
+        within a collision, so peak *i* of one capture need not be peak
+        *i* of the other. Score every (probe peak, record peak)
+        alignment with the §4.2.2 correlation trick and take the
+        permutation maximizing the *mean* per-peak score: any wrong
+        correspondence misassigns at least two peaks, so the mean
+        separates the true permutation far more reliably than the
+        weakest single alignment (each aligned window holds the other
+        k − 1 packets as interference, leaving every score near 1/k
+        with substantial variance).
+
+        Returns ``(score, perm)`` with ``perm[i]`` the record peak index
+        carrying probe packet *i*; ``(−1, None)`` when no fully
+        scoreable correspondence exists (short alignments).
+        """
+        window = self.config.match_window
+        k = probe.n_peaks
+        scores = np.full((k, k), np.nan)
+        for i in range(k):
+            for j in range(k):
+                try:
+                    scores[i, j] = match_score(
+                        record.samples, record.peaks[j].position,
+                        probe.samples, probe.peaks[i].position, window)
+                except ConfigurationError:
+                    pass  # stays nan: that alignment is unscoreable
+        best_score, best_perm = -1.0, None
+        for perm in permutations(range(k)):
+            chosen = [scores[i, perm[i]] for i in range(k)]
+            if any(np.isnan(s) for s in chosen):
+                continue  # an unscoreable alignment: skip this perm
+            score = float(np.mean(chosen))
+            if score > best_score:
+                best_score, best_perm = score, perm
+        if best_perm is None:
+            return -1.0, None
+        return best_score, best_perm
+
+    def _set_threshold(self, k: int) -> float:
+        """Match threshold for a k-packet collision set.
+
+        The aligned-correlation score of a true match concentrates
+        around the matched packet's share of the capture power — about
+        1/2 for a pair, 1/k in general — so the configured pairwise
+        threshold is scaled by ``2/k`` to keep the same accept margin at
+        every k (and exactly ``match_threshold`` at k = 2).
+        """
+        return self.config.match_threshold * 2.0 / k
+
+    @staticmethod
+    def _aligned_offsets(record: CollisionRecord,
+                         perm: tuple[int, ...]) -> tuple[int, ...]:
+        """Packet start offsets relative to packet 0, in probe packet
+        order — what must differ between two captures of a set for the
+        schedule to make progress (§4.5)."""
+        base = record.peaks[perm[0]].position
+        return tuple(record.peaks[p].position - base for p in perm)
+
+    def _direct_matches(self, probe: CollisionRecord
+                        ) -> tuple[list[CollisionRecord],
+                                   dict[int, tuple[float,
+                                                   tuple[int, ...]]]]:
+        """Stored records whose identity score against *probe* clears the
+        match threshold, newest first (§4.2.2), with match-path stats.
+
+        Returns the matches plus every scored record's
+        ``(score, permutation)`` (by ``id``) mapping probe packet order
+        onto the record's peaks — below-threshold alignments included,
+        so the k-way assembly never recomputes one. Pairs keep the
+        historical identity alignment; k >= 3 records are matched under
+        the best peak correspondence.
+
+        Counter semantics (soak observability): ``match_attempts`` =
+        ``short_alignments`` + ``match_rejects_threshold`` + accepted
+        matches; degenerate same-arrival-pattern records are skipped
+        before counting, exactly like the pairwise path.
+        """
+        k = probe.n_peaks
+        matches: list[CollisionRecord] = []
+        alignments: dict[int, tuple[float, tuple[int, ...]]] = {}
+        for record in self.buffer.newest_first():
+            if record.n_peaks < 2 or record.n_peaks != k:
+                continue
+            if k == 2:
+                if gaps_close(record, probe):
+                    continue  # identical offsets are undecodable (§4.5)
+                self.stats.match_attempts += 1
+                try:
+                    score = self._pair_score(record, probe)
+                except ConfigurationError:
+                    # A buried peak near the tail of either capture
+                    # leaves fewer than the minimum aligned samples to
+                    # score — that record simply cannot be matched
+                    # against this collision. Treat it as "no match" and
+                    # keep scanning instead of aborting the receive call.
+                    self.stats.short_alignments += 1
+                    continue
+                perm: tuple[int, ...] | None = (0, 1)
+            else:
+                score, perm = self._peak_alignment(record, probe)
+                if perm is None:
+                    self.stats.match_attempts += 1
+                    self.stats.short_alignments += 1
+                    continue
+                probe_offsets = self._aligned_offsets(
+                    probe, tuple(range(k)))
+                if all(abs(a - b) < 2 for a, b in zip(
+                        self._aligned_offsets(record, perm),
+                        probe_offsets)):
+                    continue  # same arrival pattern: degenerate (§4.5)
+                self.stats.match_attempts += 1
+            alignments[id(record)] = (score, perm)
+            if score < self._set_threshold(k):
+                self.stats.match_rejects_threshold += 1
+                continue
+            matches.append(record)
+        return matches, alignments
+
+    def _acquire_set_placements(self, layers: list[tuple[np.ndarray, list]],
+                                max_assignments: int = 2
+                                ) -> list[list[PlacementParams]]:
+        """Ranked placement hypotheses for a k-way collision set, each
+        with one shared frequency assignment per packet.
+
+        The k packets of a set are k *distinct* clients, and packet
+        identity is already aligned across captures — so rather than
+        letting every peak independently grab the gain-maximizing client
+        frequency (which happily assigns the same client's CFO to two
+        packets and derails the engine's correction loops), rank the
+        injective packet → client-frequency assignments by total fitted
+        preamble gain across all captures. Close client CFOs leave that
+        statistic with a razor-thin margin (a Δf of 2e-3 cycles/sample
+        costs under 3% of coherent preamble gain), so the top
+        *max_assignments* hypotheses are returned for the caller to try
+        in order. Falls back to a single independent per-peak selection
+        when fewer client frequencies are known than packets.
+        """
+        candidates = self.clients.candidates()
+        k = len(layers[0][1])
+        estimates: dict[tuple[int, int, int], ChannelEstimate] = {}
+        for ci, (samples, peaks) in enumerate(layers):
+            for i, peak in enumerate(peaks):
+                for fi, freq in enumerate(candidates):
+                    estimates[(ci, i, fi)] = self.synchronizer.acquire(
+                        samples, peak.position, coarse_freq=freq,
+                        noise_power=self.config.noise_power)
+
+        def build(chooser) -> list[PlacementParams]:
+            placements = []
+            for ci, (samples, peaks) in enumerate(layers):
+                for i, peak in enumerate(peaks):
+                    est = chooser(ci, i)
+                    placements.append(PlacementParams(
+                        packet=f"p{i}", collision=ci,
+                        start=peak.position + est.sampling_offset,
+                        estimate=est))
+            return placements
+
+        if len(candidates) < k:
+            return [build(lambda ci, i: max(
+                (estimates[(ci, i, fi)]
+                 for fi in range(len(candidates))),
+                key=lambda e: abs(e.gain)))]
+        # The objective is separable (one weight per packet × frequency,
+        # summed over captures), so this is a linear-assignment problem:
+        # solve it exactly rather than enumerating the P(n, k) injective
+        # assignments, which blows up as the client table grows. The
+        # runner-up is the best of the k re-solves that each forbid one
+        # edge of the optimum.
+        weights = np.zeros((k, len(candidates)))
+        for (ci, i, fi), est in estimates.items():
+            weights[i, fi] += abs(est.gain)
+        forbidden = -1e12  # finite: scipy rejects inf entries
+
+        def solve(matrix) -> tuple[float, tuple[int, ...]] | None:
+            rows, cols = linear_sum_assignment(matrix, maximize=True)
+            total = float(matrix[rows, cols].sum())
+            if total < 0.5 * forbidden:
+                return None  # forced through a forbidden edge
+            return total, tuple(int(c) for c in cols)
+        _, best = solve(weights)
+        assignments = [best]
+        runners: list[tuple[float, tuple[int, ...]]] = []
+        for i in range(k):
+            reduced = weights.copy()
+            reduced[i, best[i]] = forbidden
+            solved = solve(reduced)
+            if solved is not None:
+                runners.append(solved)
+        for _, assign in sorted(runners, key=lambda entry: -entry[0]):
+            if assign not in assignments:
+                assignments.append(assign)
+            if len(assignments) == max_assignments:
+                break
+        return [build(lambda ci, i, a=assign: estimates[(ci, i, a[i])])
+                for assign in assignments]
+
+    def _decode_collision_set(self, records: list[CollisionRecord],
+                              perms: dict[int, tuple[int, ...]],
+                              y: np.ndarray, verdict,
+                              n_symbols: int) -> list[DecodeResult]:
+        """ZigZag-decode stored collisions plus the new one as one set.
+
+        *records* are ordered oldest first; the new capture is the last
+        collision index. Each record's peaks are reordered by its
+        *perms* entry so packet ``p{i}`` names the same sender in every
+        capture. Returns the successful results (consuming the stored
+        records) or an empty list.
+        """
+        k = len(verdict.peaks)
+        if k >= 3:
+            layers = [
+                (record.samples,
+                 [record.peaks[p] for p in perms[id(record)]])
+                for record in records
+            ] + [(y, list(verdict.peaks))]
+            hypotheses = self._acquire_set_placements(layers)
+        else:
+            placements = []
+            for ci, record in enumerate(records):
+                perm = perms[id(record)]
+                ordered = [record.peaks[p] for p in perm]
+                placements.extend(self._acquire_placements(
+                    record.samples, _VerdictView(ordered), ci))
+            placements.extend(self._acquire_placements(
+                y, verdict, len(records)))
+            hypotheses = [placements]
+        captures = [record.samples for record in records] + [y]
+        successes: list[DecodeResult] = []
+        for placements in hypotheses:
+            specs = {p.packet: PacketSpec(p.packet, n_symbols)
+                     for p in placements}
+            outcome = self.multi_decoder.decode(captures, specs,
+                                                placements)
+            successes = [r for r in outcome.results.values() if r.success]
+            if successes:
+                break
+        if not successes:
+            return []
+        for record in records:
+            # The remove must run unconditionally (never inside an
+            # assert: python -O would strip the side effect and replay
+            # consumed collisions forever).
+            removed = self.buffer.remove(record)
+            assert removed, \
+                "matched collision record vanished from the buffer"
+        self.stats.zigzag_matches += 1
+        if len(captures) >= 3:
+            self.stats.multiway_matches += 1
+            self.stats.packets_multiway += len(successes)
+        for result in successes:
+            self._learn(result)
+        return successes
+
+    def _link_scorer(self, a: CollisionRecord,
+                     b: CollisionRecord) -> float:
+        """Identity score between two *stored* collisions, for the
+        buffer's match graph. Permutation-invariant for k >= 3; raises
+        :class:`ConfigurationError` when unscoreable (cached as such)."""
+        if a.n_peaks != b.n_peaks:
+            return 0.0
+        if a.n_peaks == 2:
+            return self._pair_score(a, b)
+        score, perm = self._peak_alignment(a, b)
+        if perm is None:
+            raise ConfigurationError("no scoreable peak correspondence")
+        return score
+
+    def _try_multiway(self, probe: CollisionRecord,
+                      matches: list[CollisionRecord],
+                      alignments: dict[int, tuple[float,
+                                                  tuple[int, ...]]],
+                      y: np.ndarray,
+                      verdict, n_symbols: int) -> list[DecodeResult]:
+        """Assemble and decode a k-way collision set (§4.5).
+
+        Grows the direct matches by the buffer's match-graph component
+        (collisions transitively linked through pairwise scores), keeps
+        the newest candidates whose per-packet arrival patterns are
+        pairwise distinct (a degenerate pair can never be disentangled),
+        and attempts the decode even when fewer than k - 1 stored
+        collisions are available — partial overlap sometimes supports
+        resolving the set early, and a failed schedule costs no engine
+        time. On failure the new collision simply joins the buffer and
+        waits for the next retransmission.
+        """
+        k = probe.n_peaks
+        threshold = self._set_threshold(k)
+        component = self.buffer.component(
+            matches, self._link_scorer, threshold)
+        candidates = sorted(
+            (r for r in matches + component if r.n_peaks == k),
+            key=lambda r: -r.sequence)
+        probe_offsets = self._aligned_offsets(probe, tuple(range(k)))
+        direct = {id(record) for record in matches}
+        perms: dict[int, tuple[int, ...]] = {}
+        chosen: list[CollisionRecord] = []
+        offsets_seen = [probe_offsets]
+        for record in candidates:
+            entry = alignments.get(id(record))
+            if entry is None:
+                continue  # unscoreable against the probe
+            score, perm = entry
+            if id(record) not in direct and score < 0.5 * threshold:
+                # Transitively linked only: its direct probe alignment
+                # still has to clear a sanity bar for the peak
+                # correspondence to be trusted.
+                continue
+            offsets = self._aligned_offsets(record, perm)
+            if any(all(abs(a - b) < 2 for a, b in zip(offsets, seen))
+                   for seen in offsets_seen):
+                continue  # degenerate against the probe or a chosen one
+            perms[id(record)] = perm
+            chosen.append(record)
+            offsets_seen.append(offsets)
+            if len(chosen) == k - 1:
+                break
+        if not chosen:
+            return []
+        self.stats.multiway_attempts += 1
+        # Oldest first, so collision indices follow arrival order.
+        chosen.reverse()
+        return self._decode_collision_set(chosen, perms, y, verdict,
+                                          n_symbols)
 
     def _handle_collision(self, y: np.ndarray,
                           verdict) -> list[DecodeResult]:
         cfg = self.config
+        k = len(verdict.peaks)
         n_symbols = self._frame_symbols(y, verdict.peaks[0])
 
         # (a) capture-effect SIC on this single collision (Fig 4-1e).
-        if cfg.enable_sic and n_symbols is not None:
+        if cfg.enable_sic and n_symbols is not None and k == 2:
             placements = self._acquire_placements(y, verdict, 0)
             gains = [abs(p.estimate.gain) for p in placements]
             if max(gains) > 2.5 * min(gains):
@@ -262,43 +661,27 @@ class ZigZagReceiver:
                     self.stats.sic_decodes += 1
                     return list(results.values())
 
-        # (b) match against stored collisions and ZigZag-decode.
-        for record in self.buffer.newest_first():
-            if len(record.peaks) < 2 or n_symbols is None:
-                continue
-            d_old = record.offset
-            d_new = verdict.offset
-            if d_new is None or abs(d_new - d_old) < 2:
-                continue  # identical offsets are undecodable (§4.5)
-            try:
-                score = match_score(
-                    record.samples, record.peaks[1].position,
-                    y, verdict.peaks[1].position, cfg.match_window)
-            except ConfigurationError:
-                # A second peak near the tail of either capture leaves
-                # fewer than the minimum aligned samples to score — that
-                # record simply cannot be matched against this collision.
-                # Treat it as "no match" and keep scanning instead of
-                # aborting the whole receive call.
-                self.stats.short_alignments += 1
-                continue
-            if score < cfg.match_threshold:
-                continue
-            old_placements = self._acquire_placements(
-                record.samples, _VerdictView(record.peaks), 0)
-            new_placements = self._acquire_placements(y, verdict, 1)
-            placements = old_placements + new_placements
-            specs = {p.packet: PacketSpec(p.packet, n_symbols)
-                     for p in old_placements}
-            outcome = self.pair_decoder.decode(
-                [record.samples, y], specs, placements)
-            if any(r.success for r in outcome.results.values()):
-                assert self.buffer.remove(record), \
-                    "matched collision record vanished from the buffer"
-                self.stats.zigzag_matches += 1
-                for result in outcome.results.values():
-                    self._learn(result)
-                return list(outcome.results.values())
+        # (b) match against stored collisions and ZigZag-decode: the
+        # k-way set via the buffer's match graph when the collision holds
+        # three or more packets, the classic newest-first pair scan for
+        # two (each match attempted until one decodes).
+        if n_symbols is not None:
+            probe = CollisionRecord(samples=y, peaks=list(verdict.peaks),
+                                    sequence=-1)
+            matches, alignments = self._direct_matches(probe)
+            if k >= 3 and matches:
+                results = self._try_multiway(probe, matches, alignments,
+                                             y, verdict, n_symbols)
+                if results:
+                    return results
+            elif k == 2:
+                for record in matches:
+                    results = self._decode_collision_set(
+                        [record],
+                        {id(record): alignments[id(record)][1]},
+                        y, verdict, n_symbols)
+                    if results:
+                        return results
 
         # (c) no match: store and wait for the retransmissions.
         if len(self.buffer) == self.config.buffer_capacity:

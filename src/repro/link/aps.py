@@ -53,12 +53,17 @@ class ZigZagAp:
 
     def receive(self, samples) -> list[DecodeResult]:
         """Successful decodes from one burst (possibly from earlier
-        bursts too: a matched collision resolves both packets)."""
+        bursts too: a matched collision resolves its whole set).
+
+        ``ZigZagReceiver.receive`` guarantees successes-only, so the
+        results pass through unfiltered — it used to leak a failed
+        DecodeResult on the single-peak decode-failure path, which this
+        adapter had to filter defensively.
+        """
         try:
-            results = self.receiver.receive(samples)
+            return self.receiver.receive(samples)
         except ReproError:
             return []
-        return [r for r in results if r.success]
 
 
 class StandardAp:

@@ -34,7 +34,7 @@ from repro.errors import ConfigurationError
 from repro.link.air import AirConfig, ContinuousAir
 from repro.link.aps import build_ap
 from repro.link.segmenter import BurstSegmenter, SegmenterConfig
-from repro.mac.ack import AckPlanner
+from repro.mac.ack import plan_synchronous_acks
 from repro.mac.backoff import BackoffPicker, FixedWindowBackoff
 from repro.mac.timing import TIMING_80211G, Timing
 from repro.phy.channel import ChannelParams
@@ -50,6 +50,31 @@ __all__ = ["StreamClient", "SessionConfig", "SessionReport", "LinkSession"]
 
 # Client MAC states.
 _WAIT, _CONTEND, _TX, _AWAIT_ACK, _DONE = range(5)
+
+
+def _max_clique_size(names, edges: set[frozenset[str]]) -> int:
+    """Largest mutually-hidden group in a hidden-edge graph.
+
+    Exact branch-and-bound search; a session holds at most a few dozen
+    clients and hidden graphs are sparse, so this is instant.
+    """
+    names = list(names)
+    if not names:
+        return 0
+    best = 1
+
+    def extend(size: int, candidates: list[str]) -> None:
+        nonlocal best
+        best = max(best, size)
+        for idx, name in enumerate(candidates):
+            if size + len(candidates) - idx <= best:
+                return  # bound: cannot beat the incumbent
+            extend(size + 1,
+                   [other for other in candidates[idx + 1:]
+                    if frozenset((name, other)) in edges])
+
+    extend(0, names)
+    return best
 
 
 @dataclass(frozen=True)
@@ -90,9 +115,20 @@ class SessionConfig:
     # Explicit topology: client-name pairs that can NOT sense each other,
     # with every other pair sensing perfectly. Overrides
     # sense_probability. This is how a "hidden-pair-dominated" scenario
-    # is pinned down deterministically (mutual 3-way hidden collisions
-    # are the §4.5 N-collision regime, beyond the pair decoder).
+    # is pinned down deterministically.
     hidden_pairs: tuple[tuple[str, str], ...] | None = None
+    # Hidden *cliques*: groups of n mutually-hidden clients (each listed
+    # group expands to all its pairs, on top of hidden_pairs). An
+    # n-clique is the §4.5 N-collision regime — its collisions carry n
+    # packets, and the receiver's k-way collision-set matcher resolves
+    # them across n stored collisions. The AP's max_collision_packets is
+    # derived from the largest mutually-hidden group.
+    hidden_cliques: tuple[tuple[str, ...], ...] | None = None
+    # k of the AP's k-way collision resolution. None: derived as the
+    # largest mutually-hidden group in the *explicit* topology
+    # (hidden_pairs + hidden_cliques); random sense_probability
+    # topologies keep the pairwise default unless this is set.
+    max_collision_packets: int | None = None
     modulation: str = "bpsk"
     preamble_length: int = 32
     chunk_samples: int = 1024
@@ -108,6 +144,32 @@ class SessionConfig:
             raise ConfigurationError("counts must be positive")
         if self.slot_samples < 1 or self.chunk_samples < 1:
             raise ConfigurationError("sample counts must be positive")
+        if self.max_collision_packets is not None \
+                and self.max_collision_packets < 2:
+            raise ConfigurationError(
+                "max_collision_packets must be >= 2")
+
+    def hidden_edges(self) -> set[frozenset[str]]:
+        """Every explicitly-hidden client pair (pairs plus expanded
+        cliques), as name pair sets."""
+        edges = {frozenset(pair) for pair in (self.hidden_pairs or ())}
+        for clique in (self.hidden_cliques or ()):
+            if len(clique) < 2:
+                raise ConfigurationError(
+                    "hidden cliques need at least two clients")
+            edges.update(frozenset((a, b))
+                         for i, a in enumerate(clique)
+                         for b in clique[i + 1:])
+        return edges
+
+    def collision_packets(self) -> int:
+        """The AP's k: explicit override, or the largest mutually-hidden
+        group in the declared topology (at least the pairwise 2)."""
+        if self.max_collision_packets is not None:
+            return self.max_collision_packets
+        edges = self.hidden_edges()
+        names = sorted({name for edge in edges for name in edge})
+        return max(2, _max_clique_size(names, edges))
 
 
 @dataclass
@@ -320,12 +382,17 @@ class LinkSession:
                       chunk_samples=config.chunk_samples,
                       impairments=config.capture_impairments), self.rng)
         self.segmenter = BurstSegmenter(seg_cfg)
+        # k-way reception: the AP decomposes collisions into as many
+        # packets as the topology's largest mutually-hidden group, and
+        # buffers enough collisions to assemble a full k-way set.
+        k = config.collision_packets()
         self.ap = build_ap(design, ReceiverConfig(
             preamble=self.preamble, shaper=self.shaper,
             noise_power=config.noise_power,
             expected_symbols=self.expected_symbols,
-            buffer_max_age=config.buffer_max_age))
-        self.planner = AckPlanner(config.timing)
+            buffer_max_age=config.buffer_max_age,
+            buffer_capacity=max(4, 2 * (k - 1)),
+            max_collision_packets=k))
         self._spu = spu
 
         # Association (§4.2.1): the AP holds a coarse frequency estimate
@@ -339,17 +406,21 @@ class LinkSession:
         self.clients = [_ClientState(c, self) for c in clients]
         self._by_src = {c.client.src: c for c in self.clients}
 
-        # Pairwise sensing, fixed for the whole session: hidden pairs stay
-        # hidden, which is the paper's topology model.
+        # Pairwise sensing, fixed for the whole session: hidden pairs
+        # (and cliques of n mutually-hidden clients) stay hidden, which
+        # is the paper's topology model.
         n = len(clients)
         names = [c.name for c in clients]
-        if config.hidden_pairs is not None:
-            unknown = {name for pair in config.hidden_pairs
-                       for name in pair} - set(names)
+        explicit = config.hidden_pairs is not None \
+            or config.hidden_cliques is not None
+        if explicit:
+            hidden = config.hidden_edges()
+            unknown = {name for pair in hidden for name in pair} \
+                - set(names)
             if unknown:
                 raise ConfigurationError(
-                    f"hidden_pairs names unknown clients: {sorted(unknown)}")
-            hidden = {frozenset(pair) for pair in config.hidden_pairs}
+                    f"hidden topology names unknown clients: "
+                    f"{sorted(unknown)}")
             sense = np.ones((n, n), dtype=bool)
             for i in range(n):
                 for j in range(i + 1, n):
@@ -412,31 +483,42 @@ class LinkSession:
             self.counters["acks"] += 1
 
     def _plan_acks(self, results) -> list[tuple[int, int]]:
-        """Which decoded packets can be synchronously ACKed (§4.4)."""
+        """Which decoded packets can be synchronously ACKed (§4.4).
+
+        Lemma 4.4.1, generalized to a k-way resolved set: the
+        last-finishing packet is always ACKable (nothing drowns its
+        ACK); an earlier-finishing packet can be ACKed only while the
+        last packet is still transmitting, so its ACK slot — SIFS + ACK,
+        serialized after any earlier ACK of the same set — must fit in
+        the last packet's remaining tail. For a pair this is exactly the
+        lemma's offset >= SIFS + ACK condition.
+        """
         keys = [(r.header.src, r.header.seq) for r in results]
         if len(keys) < 2:
             return keys
-        # A resolved pair: Lemma 4.4.1 — the earlier-finishing packet can
-        # only be ACKed if the other packet's tail exceeds SIFS + ACK.
         # Use the MAC truth of each sender's latest transmission.
         spans = [self.tx_log.get(key) for key in keys]
         if any(span is None for span in spans):
             return keys
         order = sorted(range(len(keys)), key=lambda i: spans[i][1])
-        first, second = order[0], order[-1]
-        offset_us = max(0.0, (spans[second][0] - spans[first][0])
-                        / self._spu)
-        plan = self.planner.plan(
-            offset_us,
-            (spans[first][1] - spans[first][0]) / self._spu,
-            (spans[second][1] - spans[second][0]) / self._spu)
-        if plan.feasible:
-            return keys
-        # The first-finishing sender misses its ACK (still transmitting
-        # neighbours drown it); it will retransmit and the AP, already
-        # holding the packet, ACKs the duplicate immediately.
-        self.counters["acks_infeasible"] += 1
-        return [keys[i] for i in order[1:]]
+        last = order[-1]
+        ackable = {last}
+        # The serialization rule lives in mac.ack (single source of
+        # truth with the Lemma 4.4.1 analysis); here it runs on the
+        # sample clock like everything else in the session.
+        flags = plan_synchronous_acks(
+            [spans[i][1] for i in order[:-1]], spans[last][1],
+            self.sifs, self.ack_air)
+        for i, feasible in zip(order[:-1], flags):
+            if feasible:
+                ackable.add(i)
+            else:
+                # This sender misses its ACK (still-transmitting
+                # neighbours drown it); it will retransmit and the AP,
+                # already holding the packet, ACKs the duplicate
+                # immediately.
+                self.counters["acks_infeasible"] += 1
+        return [keys[i] for i in range(len(keys)) if i in ackable]
 
     def _deliver_acks(self, now: int) -> None:
         while self._ack_queue and self._ack_queue[0][0] <= now:

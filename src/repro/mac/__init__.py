@@ -14,7 +14,12 @@ Used three ways in the reproduction:
 
 from repro.mac.timing import Timing, TIMING_80211A, TIMING_80211B, TIMING_80211G
 from repro.mac.backoff import BackoffPicker, ExponentialBackoff, FixedWindowBackoff
-from repro.mac.ack import ack_offset_probability, ack_offset_lower_bound, AckPlanner
+from repro.mac.ack import (
+    AckPlanner,
+    ack_offset_lower_bound,
+    ack_offset_probability,
+    plan_synchronous_acks,
+)
 from repro.mac.dcf import DcfConfig, DcfSimulator, TransmissionEvent, DcfTrace
 from repro.mac.hidden import HiddenScenario, collision_offset_pairs
 
@@ -28,6 +33,7 @@ __all__ = [
     "ExponentialBackoff",
     "ack_offset_probability",
     "ack_offset_lower_bound",
+    "plan_synchronous_acks",
     "AckPlanner",
     "DcfConfig",
     "DcfSimulator",

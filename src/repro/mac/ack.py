@@ -18,7 +18,37 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.mac.timing import TIMING_80211G, Timing
 
-__all__ = ["ack_offset_lower_bound", "ack_offset_probability", "AckPlanner"]
+__all__ = ["ack_offset_lower_bound", "ack_offset_probability",
+           "plan_synchronous_acks", "AckPlanner"]
+
+
+def plan_synchronous_acks(end_times, last_end, sifs, ack) -> list[bool]:
+    """Which earlier-finishing packets of a resolved collision set can be
+    synchronously ACKed — Lemma 4.4.1 generalized to k packets.
+
+    Unit-agnostic (microseconds or samples, as long as all four inputs
+    share a clock). *end_times* are the earlier packets' end times in
+    ascending order; *last_end* is the last-finishing packet's end. Each
+    ACK starts ``sifs`` after its packet ends, is pushed past the end of
+    any earlier ACK of the same set (ACKs serialize on the air), and is
+    feasible iff it completes by *last_end* — the still-transmitting
+    last sender is what shields it from the hidden neighbours. For a
+    single earlier packet this reduces to the lemma's
+    ``offset >= SIFS + ACK`` condition.
+
+    Returns one feasibility flag per entry of *end_times*, in order.
+    """
+    feasible: list[bool] = []
+    prev_ack_end = None
+    for end in end_times:
+        start = end + sifs
+        if prev_ack_end is not None:
+            start = max(start, prev_ack_end)
+        ok = start + ack <= last_end
+        feasible.append(ok)
+        if ok:
+            prev_ack_end = start + ack
+    return feasible
 
 
 def ack_offset_lower_bound(timing: Timing = TIMING_80211G,

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.mac.backoff import ExponentialBackoff
 from repro.mac.timing import TIMING_80211G, Timing
 
 __all__ = ["DcfConfig", "TransmissionEvent", "DcfTrace", "DcfSimulator"]

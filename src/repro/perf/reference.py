@@ -502,7 +502,7 @@ def use_reference_kernels():
         engine_mod.ZigZagEngine._measure_and_update,
         # Fetch the staticmethod descriptor itself so restoring it does
         # not turn the original back into a bound method.
-        decoder_mod.ZigZagPairDecoder.__dict__["_align_backward"],
+        decoder_mod.ZigZagMultiDecoder.__dict__["_align_backward"],
         correlation_mod.find_correlation_peaks,
     )
     PhaseTracker.process = phase_tracker_process
@@ -519,7 +519,7 @@ def use_reference_kernels():
         frontend_static_derotate
     engine_mod.ZigZagEngine._subtract_chunk = engine_subtract_chunk
     engine_mod.ZigZagEngine._measure_and_update = engine_measure_and_update
-    decoder_mod.ZigZagPairDecoder._align_backward = staticmethod(
+    decoder_mod.ZigZagMultiDecoder._align_backward = staticmethod(
         decoder_align_backward)
     correlation_mod.find_correlation_peaks = find_correlation_peaks
     try:
@@ -535,5 +535,5 @@ def use_reference_kernels():
          frontend_mod.SymbolStreamDecoder._static_derotate,
          engine_mod.ZigZagEngine._subtract_chunk,
          engine_mod.ZigZagEngine._measure_and_update,
-         decoder_mod.ZigZagPairDecoder._align_backward,
+         decoder_mod.ZigZagMultiDecoder._align_backward,
          correlation_mod.find_correlation_peaks) = saved

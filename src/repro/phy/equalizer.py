@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.linalg import lstsq, toeplitz
+from scipy.linalg import lstsq
 
 from repro.errors import ConfigurationError
 from repro.phy.isi import IsiFilter, invert_fir

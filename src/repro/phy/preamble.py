@@ -30,7 +30,8 @@ _PRIMITIVE_TAPS = {
 }
 
 
-def lfsr_sequence(n_bits: int, order: int = 7, seed_state: int = 0b1010101) -> np.ndarray:
+def lfsr_sequence(n_bits: int, order: int = 7,
+                  seed_state: int = 0b1010101) -> np.ndarray:
     """Generate *n_bits* of a maximal-length LFSR sequence of given *order*."""
     if order not in _PRIMITIVE_TAPS:
         raise ConfigurationError(

@@ -1,9 +1,19 @@
-"""Store of recent unmatched collisions (§4.2.2).
+"""Store of recent unmatched collisions (§4.2.2), generalized to sets (§4.5).
 
 "The AP stores recent unmatched collisions (i.e., stores the received
 complex samples). It is sufficient to store the few most recent collisions
 because, in 802.11, colliding sources try to retransmit a failed
 transmission as soon as the medium is available."
+
+Beyond the paper's pairwise match, the buffer doubles as a *collision-set
+matcher*: stored collisions whose pairwise match scores clear the
+threshold are linked, and a new collision's match candidates are the
+whole connected component it joins — so k mutually-hidden senders whose k
+collisions arrived over several receptions can be assembled into one
+decodable set even when the oldest and newest collisions no longer score
+directly against each other (the chain of intermediate links carries the
+identification). Pairwise matching falls out as the k = 2 case: a
+component of one stored record plus the new collision.
 """
 
 from __future__ import annotations
@@ -16,7 +26,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.phy.correlation import CorrelationPeak
 
-__all__ = ["CollisionRecord", "CollisionBuffer"]
+__all__ = ["CollisionRecord", "CollisionBuffer", "gaps_close"]
 
 
 # eq=False: records compare (and are removed) by identity. The generated
@@ -33,6 +43,11 @@ class CollisionRecord:
     meta: dict = field(default_factory=dict)
 
     @property
+    def n_peaks(self) -> int:
+        """Number of packets detected in this collision."""
+        return len(self.peaks)
+
+    @property
     def offset(self) -> int:
         """Offset Δ of the second packet relative to the first (samples)."""
         if len(self.peaks) < 2:
@@ -40,15 +55,70 @@ class CollisionRecord:
         positions = sorted(p.position for p in self.peaks)
         return positions[1] - positions[0]
 
+    @property
+    def gaps(self) -> tuple[int, ...]:
+        """Successive peak gaps (samples) — the k-way generalization of
+        ``offset``; two collisions with the same gap tuple are the §4.5
+        identical-offset degenerate case and cannot be disentangled."""
+        positions = sorted(p.position for p in self.peaks)
+        return tuple(b - a for a, b in zip(positions, positions[1:]))
+
+
+def gaps_close(a: CollisionRecord, b: CollisionRecord,
+               tolerance: int = 2) -> bool:
+    """Are two collisions' peak-gap tuples indistinguishable (§4.5)?
+
+    True when both hold the same number of packets and every successive
+    gap differs by less than *tolerance* samples — the configuration in
+    which the linear system is degenerate and ZigZag cannot make progress
+    (Assertion 4.5.1's failure condition). For two-packet records this is
+    exactly the historical ``abs(d_new - d_old) < 2`` check.
+    """
+    if a.n_peaks != b.n_peaks:
+        return False
+    return all(abs(ga - gb) < tolerance
+               for ga, gb in zip(a.gaps, b.gaps))
+
+
+class _UnionFind:
+    """Tiny union-find over record sequence numbers."""
+
+    def __init__(self, keys) -> None:
+        self._parent = {k: k for k in keys}
+
+    def find(self, key: int) -> int:
+        parent = self._parent
+        root = key
+        while parent[root] != root:
+            root = parent[root]
+        while parent[key] != root:       # path compression
+            parent[key], key = root, parent[key]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
 
 class CollisionBuffer:
-    """A small FIFO of unmatched collision records."""
+    """A small FIFO of unmatched collision records with set matching.
+
+    Pairwise link scores between stored records are computed lazily (the
+    first time a scorer asks for them) and cached until one of the two
+    records leaves the buffer, so a long-running receiver never re-scores
+    the same stored pair twice.
+    """
 
     def __init__(self, capacity: int = 4) -> None:
         if capacity < 1:
             raise ConfigurationError("buffer capacity must be >= 1")
-        self._records: deque[CollisionRecord] = deque(maxlen=capacity)
+        self.capacity = capacity
+        self._records: deque[CollisionRecord] = deque()
         self._counter = 0
+        # (low sequence, high sequence) -> score, or None when the pair
+        # cannot be aligned long enough to score (short alignment).
+        self._links: dict[tuple[int, int], float | None] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -64,6 +134,8 @@ class CollisionBuffer:
             meta=dict(meta or {}),
         )
         self._counter += 1
+        while len(self._records) >= self.capacity:
+            self._forget(self._records.popleft())
         self._records.append(record)
         return record
 
@@ -78,6 +150,7 @@ class CollisionBuffer:
             self._records.remove(record)
         except ValueError:
             return False
+        self._forget(record)
         return True
 
     def prune(self, keep) -> int:
@@ -88,11 +161,13 @@ class CollisionBuffer:
         passed (a stale record can never match, it only wastes scans).
         """
         survivors = [r for r in self._records if keep(r)]
-        dropped = len(self._records) - len(survivors)
+        dropped = [r for r in self._records if not keep(r)]
         if dropped:
             self._records.clear()
             self._records.extend(survivors)
-        return dropped
+            for record in dropped:
+                self._forget(record)
+        return len(dropped)
 
     def newest_first(self) -> list[CollisionRecord]:
         """Candidates for matching, most recent first (retransmissions are
@@ -101,3 +176,71 @@ class CollisionBuffer:
 
     def clear(self) -> None:
         self._records.clear()
+        self._links.clear()
+
+    # ------------------------------------------------------------------
+    # Collision-set matching (§4.5)
+    # ------------------------------------------------------------------
+    def _forget(self, record: CollisionRecord) -> None:
+        """Drop cached link scores involving a departed record, keeping
+        the cache bounded over arbitrarily long sessions."""
+        seq = record.sequence
+        stale = [key for key in self._links if seq in key]
+        for key in stale:
+            del self._links[key]
+
+    def link_score(self, a: CollisionRecord, b: CollisionRecord,
+                   scorer) -> float | None:
+        """Cached pairwise link score between two stored records.
+
+        *scorer* is ``scorer(a, b) -> float`` (typically aligned
+        cross-correlation at the second peaks, §4.2.2); a
+        :class:`~repro.errors.ConfigurationError` from it — the pair
+        cannot be aligned long enough to score — is cached as ``None``.
+        """
+        key = (min(a.sequence, b.sequence), max(a.sequence, b.sequence))
+        if key not in self._links:
+            try:
+                self._links[key] = float(scorer(a, b))
+            except ConfigurationError:
+                self._links[key] = None
+        return self._links[key]
+
+    def component(self, seeds: list[CollisionRecord], scorer,
+                  threshold: float) -> list[CollisionRecord]:
+        """Stored records transitively linked to any of *seeds*.
+
+        Builds the match graph over the stored records holding the same
+        packet count as the seeds (a k-way set is assembled from k-packet
+        collisions only, so cross-cardinality edges could never join the
+        component and their correlations would be wasted) — an edge
+        wherever the cached pairwise link score clears *threshold* and
+        the gap signatures differ (identical-gap pairs are degenerate,
+        §4.5) — union-finds its components, and returns the members of
+        the seeds' component (the seeds themselves excluded), newest
+        first. With no transitive links this reduces to the
+        directly-matched records, i.e. pairwise §4.2.2 behaviour.
+        """
+        if not seeds:
+            return []
+        k = seeds[0].n_peaks
+        eligible = [r for r in self._records
+                    if r.n_peaks == k and r.n_peaks >= 2]
+        seed_set = {id(s) for s in seeds}
+        members = [r for r in eligible if id(r) not in seed_set]
+        if not members:
+            return []
+        uf = _UnionFind([r.sequence for r in eligible]
+                        + [s.sequence for s in seeds
+                           if s.sequence not in
+                           {r.sequence for r in eligible}])
+        for i, a in enumerate(eligible):
+            for b in eligible[i + 1:]:
+                if gaps_close(a, b):
+                    continue
+                score = self.link_score(a, b, scorer)
+                if score is not None and score >= threshold:
+                    uf.union(a.sequence, b.sequence)
+        roots = {uf.find(s.sequence) for s in seeds}
+        linked = [r for r in members if uf.find(r.sequence) in roots]
+        return list(reversed(linked))

@@ -28,7 +28,8 @@ from repro.runner.cache import cached_preamble, cached_shaper
 from repro.utils.bits import random_bits
 from repro.zigzag.engine import PacketSpec, PlacementParams
 
-__all__ = ["build_stream_session", "hidden_pair_scenario"]
+__all__ = ["STREAM_CLIENT_NAMES", "build_stream_session",
+           "hidden_pair_scenario"]
 
 
 def hidden_pair_scenario(rng, preamble, shaper, *, snr_db=12.0,
@@ -100,7 +101,9 @@ def hidden_pair_scenario(rng, preamble, shaper, *, snr_db=12.0,
     return captures, frames, specs, placements
 
 
-_CLIENT_NAMES = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+# Default client names for streaming sessions built without explicit
+# [[sender]] tables; also bounds n_clients / n_senders.
+STREAM_CLIENT_NAMES = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
 
 def _parse_hidden_pairs(text) -> tuple[tuple[str, str], ...]:
@@ -113,6 +116,21 @@ def _parse_hidden_pairs(text) -> tuple[tuple[str, str], ...]:
                 f"hidden_pairs must look like 'A:B,B:C', got {text!r}")
         pairs.append((a.strip(), b.strip()))
     return tuple(pairs)
+
+
+def _parse_hidden_cliques(text) -> tuple[tuple[str, ...], ...]:
+    """``"A:B:C,D:E"`` -> ``(("A", "B", "C"), ("D", "E"))``.
+
+    Each comma-separated group is one set of mutually-hidden clients.
+    """
+    cliques = []
+    for piece in str(text).split(","):
+        names = tuple(n.strip() for n in piece.strip().split(":"))
+        if len(names) < 2 or not all(names):
+            raise ConfigurationError(
+                f"hidden_cliques must look like 'A:B:C,D:E', got {text!r}")
+        cliques.append(names)
+    return tuple(cliques)
 
 
 def build_stream_session(spec, rng: np.random.Generator, design: str,
@@ -130,7 +148,10 @@ def build_stream_session(spec, rng: np.random.Generator, design: str,
     Recognized ``[params]`` extras: ``n_clients``, ``snr_db``,
     ``max_attempts``, ``chunk_samples``, ``buffer_max_age``,
     ``hidden_pairs`` (e.g. ``"A:B"``; every unlisted pair then senses
-    perfectly), ``offered_load`` (via *default_load*).
+    perfectly), ``hidden_cliques`` (e.g. ``"A:B:C"``: groups of
+    mutually-hidden clients, enabling the AP's k-way collision
+    resolution), ``max_collision_packets`` (override the derived k),
+    ``offered_load`` (via *default_load*).
     """
     spread = spec.channel.freq_spread
     if spec.senders:
@@ -140,11 +161,11 @@ def build_stream_session(spec, rng: np.random.Generator, design: str,
                    for s in spec.senders]
     else:
         n_clients = int(spec.param("n_clients", 3))
-        if not 1 <= n_clients <= len(_CLIENT_NAMES):
+        if not 1 <= n_clients <= len(STREAM_CLIENT_NAMES):
             raise ConfigurationError(
-                f"params.n_clients must be in [1, {len(_CLIENT_NAMES)}]")
+                f"params.n_clients must be in [1, {len(STREAM_CLIENT_NAMES)}]")
         snr = float(spec.param("snr_db", 12.0))
-        entries = [(_CLIENT_NAMES[i], snr, None, default_load)
+        entries = [(STREAM_CLIENT_NAMES[i], snr, None, default_load)
                    for i in range(n_clients)]
     clients = [
         StreamClient(
@@ -155,6 +176,8 @@ def build_stream_session(spec, rng: np.random.Generator, design: str,
         for i, (name, snr, freq, load) in enumerate(entries)
     ]
     hidden = spec.param("hidden_pairs")
+    cliques = spec.param("hidden_cliques")
+    max_k = spec.param("max_collision_packets")
     imp = spec.impairments
     config = SessionConfig(
         payload_bits=spec.payload_bits,
@@ -169,6 +192,10 @@ def build_stream_session(spec, rng: np.random.Generator, design: str,
         sense_probability=spec.sense_probability,
         hidden_pairs=(_parse_hidden_pairs(hidden)
                       if hidden is not None else None),
+        hidden_cliques=(_parse_hidden_cliques(cliques)
+                        if cliques is not None else None),
+        max_collision_packets=(int(max_k)
+                               if max_k is not None else None),
         modulation=spec.modulation,
         preamble_length=spec.preamble_length,
         chunk_samples=int(spec.param("chunk_samples", 1024)),

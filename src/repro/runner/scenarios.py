@@ -15,6 +15,7 @@ with :func:`available_scenarios` or ``python -m repro list``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -28,7 +29,11 @@ from repro.phy.medium import Transmission, synthesize
 from repro.phy.sync import Synchronizer
 from repro.receiver.decoder import StandardDecoder
 from repro.receiver.frontend import StreamConfig, SymbolStreamDecoder
-from repro.runner.builders import build_stream_session, hidden_pair_scenario
+from repro.runner.builders import (
+    STREAM_CLIENT_NAMES,
+    build_stream_session,
+    hidden_pair_scenario,
+)
 from repro.runner.cache import cached_preamble, cached_shaper, shared_cache
 from repro.runner.results import TrialResult
 from repro.runner.seeding import trial_rng, trial_seed, trial_seed_sequence
@@ -514,6 +519,13 @@ def _stream_designs_trial(spec: ScenarioSpec, ctx: TrialContext,
     rx = zz.receiver_stats
     metrics["zigzag_matches"] = float(rx.zigzag_matches)
     metrics["collisions_stored"] = float(rx.collisions_stored)
+    # Match-path observability (§4.2.2/§4.5): "buffer scanned but the
+    # score stayed below threshold" vs "nothing was ever scoreable" are
+    # different soak-run failure modes; surface both, plus the k-way
+    # counters, per run.
+    metrics["match_attempts"] = float(rx.match_attempts)
+    metrics["match_rejects_threshold"] = float(rx.match_rejects_threshold)
+    metrics["multiway_matches"] = float(rx.multiway_matches)
     metrics["max_resident_samples"] = zz.counters["max_resident_samples"]
     extra = {tag: dict(report.counters)
              for tag, report in reports.items()}
@@ -534,6 +546,75 @@ def ap_stream_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
     ``throughput/delivered/loss_{zigzag,80211}`` comparison pairs.
     """
     return _stream_designs_trial(spec, ctx, default_load=None)
+
+
+@scenario("three_senders_stream", designs=("zigzag",), impairments=True)
+def three_senders_stream_trial(spec: ScenarioSpec,
+                               ctx: TrialContext) -> TrialResult:
+    """Fig 5-9 through the online AP: n mutually-hidden streaming senders.
+
+    ``params.n_senders`` (default 3) saturated clients form one hidden
+    clique over continuous air; each collision then carries all n
+    packets, and the closed-loop ZigZag AP resolves the k-way collision
+    sets assembled from its buffer's match graph (§4.5) — the same
+    physics as the offline ``three_senders`` testbed loop, but running
+    through the streaming ``link`` subsystem with real segmentation,
+    matching, ACKs and retransmissions. Metrics: per-sender and total
+    wall-clock normalized throughput, ``collision_throughput_*``
+    (delivered packets per detected-collision airtime, the offline Fig
+    5-9 normalization basis), ``fairness_ratio``, and the receiver's
+    match/k-way counters. Sweep ``--param n_senders=2:4`` for the
+    throughput-vs-k curve.
+    """
+    if spec.senders:
+        raise ConfigurationError(
+            "three_senders_stream builds its own symmetric clique from "
+            "params.n_senders/snr_db; [[sender]] tables would be "
+            "silently ignored — use the ap_stream scenario with "
+            "params.hidden_cliques for per-sender control")
+    n = int(spec.param("n_senders", 3))
+    if not 2 <= n <= len(STREAM_CLIENT_NAMES):
+        raise ConfigurationError(
+            f"params.n_senders must be in [2, {len(STREAM_CLIENT_NAMES)}]")
+    names = list(STREAM_CLIENT_NAMES[:n])
+    overrides = dict(spec.extra_params)
+    overrides["n_clients"] = n
+    overrides["hidden_cliques"] = ":".join(names)
+    overrides.pop("hidden_pairs", None)
+    clique_spec = dataclasses.replace(
+        spec, params=tuple(sorted(overrides.items())))
+    session = build_stream_session(
+        clique_spec, np.random.default_rng(ctx.seed), "zigzag")
+    report = session.run()
+    rx = report.receiver_stats
+    metrics: dict[str, float] = {}
+    for name in names:
+        metrics[f"throughput_{name}"] = report.throughput(name)
+        metrics[f"loss_{name}"] = report.flows[name].loss_rate
+    metrics["throughput_total"] = report.throughput()
+    metrics["fairness_ratio"] = _fairness_ratio(
+        [report.throughput(name) for name in names])
+    # The offline three_senders scenario normalizes by collision count
+    # (each collision is one packet-airtime of fully-overlapped medium);
+    # report the same basis so the two paths are directly comparable.
+    collisions = max(float(rx.collisions_detected), 1.0)
+    for name in names:
+        metrics[f"collision_throughput_{name}"] = \
+            report.flows[name].delivered / collisions
+    metrics["collision_throughput_total"] = \
+        report.total_delivered / collisions
+    metrics["collisions_detected"] = float(rx.collisions_detected)
+    metrics["zigzag_matches"] = float(rx.zigzag_matches)
+    metrics["multiway_attempts"] = float(rx.multiway_attempts)
+    metrics["multiway_matches"] = float(rx.multiway_matches)
+    metrics["packets_multiway"] = float(rx.packets_multiway)
+    metrics["match_attempts"] = float(rx.match_attempts)
+    metrics["match_rejects_threshold"] = float(rx.match_rejects_threshold)
+    metrics["timed_out"] = float(report.timed_out)
+    return TrialResult(index=ctx.index, metrics=metrics,
+                       flows=dict(report.flows),
+                       airtime=report.airtime_packets,
+                       extra={"counters": dict(report.counters)})
 
 
 @scenario("offered_load", designs=None, impairments=True)

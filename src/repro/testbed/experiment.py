@@ -47,7 +47,11 @@ from repro.receiver.frontend import StreamConfig
 from repro.receiver.mrc import mrc_combine
 from repro.testbed.metrics import BER_DELIVERY_THRESHOLD, FlowStats
 from repro.utils.bits import bit_error_rate, random_bits
-from repro.zigzag.decoder import ZigZagPairDecoder, extract_bits
+from repro.zigzag.decoder import (
+    ZigZagMultiDecoder,
+    ZigZagPairDecoder,
+    extract_bits,
+)
 from repro.zigzag.engine import PacketSpec, PlacementParams
 from repro.zigzag.sic import SicDecoder
 
@@ -443,7 +447,9 @@ def run_three_sender_experiment(snr_db: float = 12.0, *,
     sync = Synchronizer(preamble, shaper, threshold=0.3)
     config = StreamConfig(preamble=preamble, shaper=shaper,
                           noise_power=noise_power)
-    decoder = ZigZagPairDecoder(config, use_backward=True)
+    # The general k-way decoder (§4.5): three captures per round, with
+    # MRC across every cleaned capture copy of each packet.
+    decoder = ZigZagMultiDecoder(config, use_backward=True)
     picker = FixedWindowBackoff(16)
     names = ["A", "B", "C"]
     freqs = {n: float(rng.uniform(-4e-3, 4e-3)) for n in names}

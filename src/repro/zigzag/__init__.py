@@ -10,8 +10,10 @@ Submodules:
   maintaining residual buffers, per-(packet, collision) decoder streams,
   accumulated images, and the cross-collision amplitude/phase/frequency
   correction loop of §4.2.4(b).
-- :mod:`~repro.zigzag.decoder`: the user-facing pair decoder with forward +
-  backward passes combined by MRC (§4.3b).
+- :mod:`~repro.zigzag.decoder`: the user-facing decoders — the general
+  k-way :class:`~repro.zigzag.decoder.ZigZagMultiDecoder` (§4.5) with
+  forward + backward passes and k-copy MRC (§4.3b), and its k = 2
+  :class:`~repro.zigzag.decoder.ZigZagPairDecoder` wrapper.
 - :mod:`~repro.zigzag.detect` / :mod:`~repro.zigzag.match`: is-it-a-
   collision (§4.2.1) and did-we-get-matching-collisions (§4.2.2).
 - :mod:`~repro.zigzag.sic`: capture-effect successive interference
@@ -29,7 +31,11 @@ from repro.zigzag.reencode import Reencoder
 from repro.zigzag.engine import PacketSpec, PlacementParams, ZigZagEngine
 from repro.zigzag.detect import CollisionDetector
 from repro.zigzag.match import match_score, collisions_match
-from repro.zigzag.decoder import ZigZagPairDecoder, ZigZagOutcome
+from repro.zigzag.decoder import (
+    ZigZagMultiDecoder,
+    ZigZagOutcome,
+    ZigZagPairDecoder,
+)
 from repro.zigzag.sic import SicDecoder
 
 __all__ = [
@@ -45,6 +51,7 @@ __all__ = [
     "CollisionDetector",
     "match_score",
     "collisions_match",
+    "ZigZagMultiDecoder",
     "ZigZagPairDecoder",
     "ZigZagOutcome",
     "SicDecoder",

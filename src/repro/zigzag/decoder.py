@@ -1,4 +1,8 @@
-"""The user-facing ZigZag pair decoder: forward + backward passes + MRC.
+"""The user-facing ZigZag decoders: forward + backward passes + MRC.
+
+:class:`ZigZagMultiDecoder` decodes k packets from k matching collisions
+(§4.5) — the pair of §4.2.3 is simply its k = 2 configuration, exposed as
+the thin :class:`ZigZagPairDecoder` wrapper for historical call sites.
 
 §4.2.3 describes the forward pass; §4.3(b) adds backward decoding: "clearly
 the figure is symmetric. The AP could wait until it received all samples,
@@ -18,6 +22,19 @@ reversed captures; the per-(packet, capture) end states of the forward run
 backward soft symbols are then combined with maximal ratio combining, which
 is why ZigZag's BER beats interference-free transmission (Fig 5-3): every
 symbol is effectively received twice, once per collision.
+
+With k > 2 collisions every symbol is received *k* times, and the multi
+decoder extends the same idea: once the forward pass has cleaned every
+capture, each packet's waveform can be re-read from each capture it
+appears in (residual plus that packet's own re-added image), giving up to
+k independent soft copies per symbol. Copies are gated blockwise against
+the forward decisions and weighted by measured inverse variance — the
+same guard that keeps a degraded backward pass from poisoning the
+combine — and symbols the forward pass already decoded from that very
+capture get zero weight (they carry the same noise, not new information).
+At k = 2 the forward and backward passes already *are* the two
+per-collision copies, so the extra-copy machinery stays off and the pair
+behaviour (and its golden vectors) is untouched.
 """
 
 from __future__ import annotations
@@ -33,7 +50,7 @@ from repro.phy.equalizer import LmsEqualizer
 from repro.phy.estimation import ChannelEstimate
 from repro.phy.frame import HEADER_BITS, FrameHeader, scramble_bits
 from repro.phy.isi import IsiFilter
-from repro.receiver.frontend import StreamConfig
+from repro.receiver.frontend import StreamConfig, SymbolStreamDecoder
 from repro.receiver.mrc import mrc_combine
 from repro.receiver.result import DecodeResult
 from repro.zigzag.engine import (
@@ -44,7 +61,8 @@ from repro.zigzag.engine import (
 )
 from repro.zigzag.schedule import DecodeStep, Placement, greedy_schedule
 
-__all__ = ["ZigZagOutcome", "ZigZagPairDecoder", "extract_bits"]
+__all__ = ["ZigZagOutcome", "ZigZagMultiDecoder", "ZigZagPairDecoder",
+           "extract_bits"]
 
 
 def extract_bits(soft: np.ndarray, spec: PacketSpec,
@@ -76,11 +94,14 @@ def extract_bits(soft: np.ndarray, spec: PacketSpec,
 
 @dataclass
 class ZigZagOutcome:
-    """Everything a ZigZag decode of one collision pair produced."""
+    """Everything a ZigZag decode of one collision set produced."""
 
     results: dict[str, DecodeResult]
     forward: dict[str, PacketAccumulator] | None = None
     backward_soft: dict[str, np.ndarray] | None = None
+    # Per-packet extra MRC copies re-read from individual cleaned
+    # captures (k >= 3 only); each entry is (collision, aligned soft).
+    capture_soft: dict[str, list[tuple[int, np.ndarray]]] | None = None
     schedule: list[DecodeStep] | None = None
     residual_powers: list[float] = field(default_factory=list)
     detail: str = ""
@@ -92,9 +113,13 @@ class ZigZagOutcome:
 
 
 @dataclass
-class ZigZagPairDecoder:
-    """Decode two matching collisions of the same packet pair (or more
-    generally the same packet set across multiple captures).
+class ZigZagMultiDecoder:
+    """Decode the same k-packet set across k (or more) matching collisions.
+
+    This is the §4.5 general decoder: any number of captures, each holding
+    any subset of the packet set, driven through the k-capable greedy
+    scheduler and engine. The §4.2.3 pair decode is its k = 2
+    configuration (see :class:`ZigZagPairDecoder`).
 
     Parameters
     ----------
@@ -107,6 +132,11 @@ class ZigZagPairDecoder:
     margin_symbols:
         Scheduling guard between a decodable symbol and the nearest
         undecoded interferer, in symbols (pulse-overlap protection).
+    mrc_all_copies:
+        With three or more captures, re-read each packet from every
+        cleaned capture it appears in and fold the extra soft copies into
+        the MRC (k-copy combining). Never engages at k = 2, where forward
+        and backward already supply both per-collision copies.
     """
 
     config: StreamConfig
@@ -114,6 +144,7 @@ class ZigZagPairDecoder:
     margin_symbols: float = 1.0
     correction_alpha: float = 0.7
     correction_beta: float = 0.4
+    mrc_all_copies: bool = True
 
     # ------------------------------------------------------------------
     def decode(self, captures: list[np.ndarray],
@@ -145,6 +176,17 @@ class ZigZagPairDecoder:
             backward_soft = self._backward_pass(
                 captures, specs, placements, forward_engine)
 
+        # k-copy MRC (§4.5): with three or more captures, each cleaned
+        # capture is an additional independent reading of every packet.
+        capture_copies: dict[str, list] = {}
+        capture_soft: dict[str, list[tuple[int, np.ndarray]]] | None = None
+        if self.mrc_all_copies and len(captures) >= 3:
+            capture_copies = self._capture_copies(specs, forward_engine)
+            capture_soft = {
+                name: [(c, aligned) for c, aligned, _ in entries]
+                for name, entries in capture_copies.items()
+            }
+
         results: dict[str, DecodeResult] = {}
         pre_len = len(self.config.preamble)
         for name, spec in specs.items():
@@ -162,6 +204,9 @@ class ZigZagPairDecoder:
                 if np.any(block_weights > 0):
                     streams.append(aligned)
                     weights.append(block_weights)
+            for _, aligned, copy_weights in capture_copies.get(name, []):
+                streams.append(aligned)
+                weights.append(copy_weights)
             combined = mrc_combine(streams, weights)
             bits, crc_ok, header = extract_bits(combined, spec, pre_len)
             payload = bits[HEADER_BITS:-32] if bits.size >= HEADER_BITS + 32 \
@@ -180,10 +225,51 @@ class ZigZagPairDecoder:
             results=results,
             forward=forward,
             backward_soft=backward_soft,
+            capture_soft=capture_soft,
             schedule=schedule,
             residual_powers=[forward_engine.residual_power(c)
                              for c in range(len(captures))],
         )
+
+    # ------------------------------------------------------------------
+    def _capture_copies(self, specs: dict[str, PacketSpec],
+                        engine: ZigZagEngine
+                        ) -> dict[str, list[tuple[int, np.ndarray,
+                                                  np.ndarray]]]:
+        """Re-read every packet from each cleaned capture it appears in.
+
+        After the forward pass, ``residual[c] + images[(p, c)]`` is
+        capture *c* with every packet except *p* subtracted — a full
+        interference-free view of *p* that the chunked forward pass only
+        sampled where its schedule happened to route through *c*. A fresh
+        stream decode of that view yields one more soft copy of the whole
+        packet per capture. Each copy is phase-aligned and gated blockwise
+        against the forward decisions (the backward-pass guard), and the
+        symbols the forward pass already decoded *from this capture* get
+        zero weight: they share its noise and carry no new information.
+
+        Returns ``{packet: [(collision, aligned_soft, weights), ...]}``;
+        copies whose weights vanish everywhere are dropped.
+        """
+        copies: dict[str, list[tuple[int, np.ndarray, np.ndarray]]] = {}
+        for (name, c), pl in engine.placements.items():
+            spec = specs[name]
+            acc = engine.packets[name]
+            cleaned = engine.residual[c] + engine.images[(name, c)]
+            stream = SymbolStreamDecoder(
+                self.config, pl.estimate, pl.start,
+                body_constellation=spec.body_constellation,
+                pilots=acc.decisions)
+            try:
+                chunk = stream.decode_chunk(cleaned, spec.n_symbols)
+            except ReproError:
+                continue
+            aligned, weights = self._align_backward(
+                acc.soft, acc.decisions, chunk.soft)
+            weights = weights * (acc.source != c)
+            if np.any(weights > 0):
+                copies.setdefault(name, []).append((c, aligned, weights))
+        return copies
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -322,3 +408,17 @@ class ZigZagPairDecoder:
             name: np.conj(acc.soft[::-1])
             for name, acc in reversed_out.items()
         }
+
+
+@dataclass
+class ZigZagPairDecoder(ZigZagMultiDecoder):
+    """The historical §4.2.3 pair entry point: k = 2 configuration of
+    :class:`ZigZagMultiDecoder`.
+
+    Forward + backward + MRC only — ``mrc_all_copies`` stays off so the
+    decode is bit-identical to the pre-multi-decoder pair path (and its
+    golden vectors) even when a caller hands it more than two captures.
+    New k-way call sites should use :class:`ZigZagMultiDecoder` directly.
+    """
+
+    mrc_all_copies: bool = False

@@ -1,9 +1,12 @@
 """Regenerate the golden-vector fixtures under ``tests/golden/``.
 
-Each fixture is a small fixed-seed hidden-pair collision pair — the raw
-capture buffers, the acquisition inputs (symbol-0 positions and coarse
-frequency guesses), the ground-truth body bits, and the bits the ZigZag
-pair decoder recovered when the fixture was generated. The companion test
+Each fixture is a small fixed-seed collision set — the raw capture
+buffers, the acquisition inputs (symbol-0 positions and coarse frequency
+guesses), the ground-truth body bits, and the bits the ZigZag decoder
+recovered when the fixture was generated. The hidden-pair fixtures pin
+the §4.2.3 pair path (two captures, :class:`ZigZagPairDecoder`); the
+three-sender fixture pins the §4.5 k-way path (three captures,
+:class:`ZigZagMultiDecoder` with k-copy MRC). The companion test
 (``tests/test_golden_vectors.py``) re-runs synchronization + ZigZag
 decoding on the *stored* waveforms and asserts the recovered bits match
 **bit-exactly**, pinning the whole receive chain (sync.acquire through
@@ -13,7 +16,10 @@ end-to-end analogue of :mod:`repro.perf.reference`'s kernel oracles.
 Regenerate (only after an *intentional* behavior change, and eyeball the
 reported BERs before committing)::
 
-    PYTHONPATH=src python tests/golden/regenerate.py
+    PYTHONPATH=src python tests/golden/regenerate.py [fixture ...]
+
+With fixture names given, only those are rewritten — adding a new
+fixture must not churn the bytes of the existing ones.
 """
 
 from __future__ import annotations
@@ -25,15 +31,21 @@ import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
 
+from repro.phy.channel import ChannelParams  # noqa: E402
+from repro.phy.frame import Frame  # noqa: E402
 from repro.phy.impairments import ImpairmentPipeline  # noqa: E402
+from repro.phy.medium import Transmission, synthesize  # noqa: E402
 from repro.phy.preamble import default_preamble  # noqa: E402
 from repro.phy.pulse import PulseShaper  # noqa: E402
 from repro.phy.sync import Synchronizer  # noqa: E402
 from repro.receiver.frontend import StreamConfig  # noqa: E402
 from repro.runner.builders import hidden_pair_scenario  # noqa: E402
-from repro.utils.bits import bit_error_rate  # noqa: E402
-from repro.zigzag.decoder import ZigZagPairDecoder  # noqa: E402
-from repro.zigzag.engine import PacketSpec  # noqa: E402
+from repro.utils.bits import bit_error_rate, random_bits  # noqa: E402
+from repro.zigzag.decoder import (  # noqa: E402
+    ZigZagMultiDecoder,
+    ZigZagPairDecoder,
+)
+from repro.zigzag.engine import PacketSpec, PlacementParams  # noqa: E402
 
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
 
@@ -59,9 +71,77 @@ FIXTURES: dict[str, tuple[int, float, tuple, tuple]] = {
           "phase_deg": 0.8})),
 }
 
+# Fixtures decoded through the k-way multi decoder (§4.5): three
+# mutually-hidden senders across three collisions. Kept separate so the
+# pair fixtures above stay byte-identical to their pre-k-way form.
+THREE_SENDER_FIXTURES: dict[str, tuple[int, float]] = {
+    "three_senders_clean": (404, 13.0),
+}
+
+# Per-round start offsets of the three senders (samples) — distinct
+# relative offsets in every round, the decodable §4.5 configuration.
+THREE_SENDER_ROUNDS = ((0, 80, 180), (60, 0, 140), (100, 40, 0))
+
+
+def fixture_labels(name: str) -> tuple[str, ...]:
+    """Packet labels stored in fixture *name*."""
+    return ("A", "B", "C") if name in THREE_SENDER_FIXTURES \
+        else ("A", "B")
+
+
+def all_fixture_names() -> list[str]:
+    return sorted([*FIXTURES, *THREE_SENDER_FIXTURES])
+
+
+def _build_three_senders(name: str) -> dict[str, np.ndarray]:
+    seed, snr_db = THREE_SENDER_FIXTURES[name]
+    rng = np.random.default_rng(seed)
+    preamble = default_preamble(PREAMBLE_LENGTH)
+    shaper = PulseShaper()
+    labels = fixture_labels(name)
+    amplitude = np.sqrt(10 ** (snr_db / 10) * NOISE_POWER)
+    frames = {
+        label: Frame.make(random_bits(PAYLOAD_BITS, rng), src=i + 1,
+                          seq=i, preamble=preamble)
+        for i, label in enumerate(labels)
+    }
+    freqs = {label: float(rng.uniform(-4e-3, 4e-3)) for label in labels}
+    captures = []
+    for offsets in THREE_SENDER_ROUNDS:
+        txs = []
+        for label, offset in zip(labels, offsets):
+            params = ChannelParams(
+                gain=amplitude * np.exp(1j * rng.uniform(0, 2 * np.pi)),
+                freq_offset=freqs[label],
+                sampling_offset=float(rng.uniform(0, 1)),
+                phase_noise_std=1e-3)
+            txs.append(Transmission.from_symbols(
+                frames[label].symbols, shaper, params, offset, label))
+        captures.append(synthesize(txs, NOISE_POWER, rng,
+                                   leading=8, tail=30))
+    data: dict[str, np.ndarray] = {
+        "payload_bits": np.array(PAYLOAD_BITS),
+        "preamble_length": np.array(PREAMBLE_LENGTH),
+        "noise_power": np.array(NOISE_POWER),
+        "seed": np.array(seed),
+        "n_symbols": np.array(frames["A"].n_symbols),
+    }
+    for ci, capture in enumerate(captures):
+        data[f"capture{ci}"] = capture.samples
+        for t in capture.transmissions:
+            key = f"c{ci}_{t.label}"
+            data[f"symbol0_{key}"] = np.array(t.symbol0)
+            data[f"coarse_{key}"] = np.array(
+                t.params.freq_offset + rng.normal(0, COARSE_FREQ_ERROR))
+    for label, frame in frames.items():
+        data[f"body_{label}"] = frame.body_bits.astype(np.uint8)
+    return data
+
 
 def build_fixture(name: str) -> dict[str, np.ndarray]:
     """Synthesize one fixture's captures + acquisition inputs + truth."""
+    if name in THREE_SENDER_FIXTURES:
+        return _build_three_senders(name)
     seed, snr_db, sender_stages, capture_stages = FIXTURES[name]
     rng = np.random.default_rng(seed)
     preamble = default_preamble(PREAMBLE_LENGTH)
@@ -94,21 +174,21 @@ def build_fixture(name: str) -> dict[str, np.ndarray]:
     return data
 
 
-def decode_fixture(data: dict) -> dict[str, np.ndarray]:
+def decode_fixture(name: str, data: dict) -> dict[str, np.ndarray]:
     """Sync + ZigZag-decode a fixture's stored waveforms from scratch."""
     preamble = default_preamble(int(data["preamble_length"]))
     shaper = PulseShaper()
     noise_power = float(data["noise_power"])
     sync = Synchronizer(preamble, shaper, threshold=0.3)
     n_symbols = int(data["n_symbols"])
+    labels = fixture_labels(name)
+    n_captures = len(labels)  # one collision per packet of the set
     placements = []
     captures = []
-    from repro.zigzag.engine import PlacementParams
-
-    for ci in range(2):
+    for ci in range(n_captures):
         samples = np.asarray(data[f"capture{ci}"])
         captures.append(samples)
-        for label in ("A", "B"):
+        for label in labels:
             key = f"c{ci}_{label}"
             symbol0 = int(data[f"symbol0_{key}"])
             est = sync.acquire(samples, symbol0,
@@ -118,16 +198,18 @@ def decode_fixture(data: dict) -> dict[str, np.ndarray]:
                 label, ci, symbol0 + est.sampling_offset, est))
     config = StreamConfig(preamble=preamble, shaper=shaper,
                           noise_power=noise_power)
-    specs = {label: PacketSpec(label, n_symbols) for label in ("A", "B")}
-    outcome = ZigZagPairDecoder(config).decode(captures, specs, placements)
+    specs = {label: PacketSpec(label, n_symbols) for label in labels}
+    decoder_cls = ZigZagMultiDecoder if name in THREE_SENDER_FIXTURES \
+        else ZigZagPairDecoder
+    outcome = decoder_cls(config).decode(captures, specs, placements)
     return {label: outcome.results[label].bits.astype(np.uint8)
-            for label in ("A", "B")}
+            for label in labels}
 
 
-def regenerate() -> None:
-    for name in FIXTURES:
+def regenerate(names: list[str] | None = None) -> None:
+    for name in (names or all_fixture_names()):
         data = build_fixture(name)
-        decoded = decode_fixture(data)
+        decoded = decode_fixture(name, data)
         for label, bits in decoded.items():
             data[f"decoded_{label}"] = bits
             truth = data[f"body_{label}"]
@@ -141,4 +223,4 @@ def regenerate() -> None:
 
 
 if __name__ == "__main__":
-    regenerate()
+    regenerate(sys.argv[1:] or None)

@@ -58,7 +58,6 @@ class TestDetection:
         assert flagged <= trials * 0.3
 
     def test_verdict_offset_none_for_single(self, rng, preamble, shaper):
-        detector = CollisionDetector(preamble, shaper)
         from repro.zigzag.detect import CollisionVerdict
         assert CollisionVerdict(False, []).offset is None
 

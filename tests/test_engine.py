@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.zigzag.engine import PacketSpec, PlacementParams, SubtractionState, ZigZagEngine
+from repro.zigzag.engine import (
+    PacketSpec,
+    PlacementParams,
+    SubtractionState,
+    ZigZagEngine,
+)
 from repro.zigzag.schedule import DecodeStep, Placement, greedy_schedule
 
 from helpers import hidden_pair_scenario

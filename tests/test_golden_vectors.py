@@ -1,17 +1,19 @@
 """Golden-vector regression: end-to-end decodes pinned bit-exactly.
 
-Each fixture under ``tests/golden/`` holds a fixed-seed hidden-pair
-collision pair (raw capture buffers + acquisition inputs) together with
-the bits the full receive chain recovered when the fixture was generated.
-Re-running synchronization + ZigZag decoding on the *stored* waveforms
-must reproduce those bits exactly — any numerical drift anywhere in the
-chain (sync.acquire, chunk scheduling, re-encode/subtract, tracking,
-slicing) trips these tests. This is the end-to-end complement of the
-kernel-level oracles in ``tests/test_perf_equivalence.py``.
+Each fixture under ``tests/golden/`` holds a fixed-seed collision set
+(raw capture buffers + acquisition inputs) together with the bits the
+full receive chain recovered when the fixture was generated: hidden
+pairs through the §4.2.3 pair path, and a three-sender set through the
+§4.5 k-way multi decoder. Re-running synchronization + ZigZag decoding
+on the *stored* waveforms must reproduce those bits exactly — any
+numerical drift anywhere in the chain (sync.acquire, chunk scheduling,
+re-encode/subtract, tracking, slicing, k-copy MRC) trips these tests.
+This is the end-to-end complement of the kernel-level oracles in
+``tests/test_perf_equivalence.py``.
 
 After an *intentional* behavior change, regenerate with::
 
-    PYTHONPATH=src python tests/golden/regenerate.py
+    PYTHONPATH=src python tests/golden/regenerate.py [fixture ...]
 
 and review the reported BERs before committing the new fixtures.
 """
@@ -29,7 +31,7 @@ _spec = importlib.util.spec_from_file_location(
 golden = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(golden)
 
-FIXTURE_NAMES = sorted(golden.FIXTURES)
+FIXTURE_NAMES = golden.all_fixture_names()
 
 
 def load(name: str) -> dict:
@@ -44,8 +46,8 @@ class TestGoldenVectors:
     @pytest.mark.parametrize("name", FIXTURE_NAMES)
     def test_decode_is_bit_exact(self, name):
         data = load(name)
-        decoded = golden.decode_fixture(data)
-        for label in ("A", "B"):
+        decoded = golden.decode_fixture(name, data)
+        for label in golden.fixture_labels(name):
             expected = data[f"decoded_{label}"]
             got = decoded[label]
             assert got.size == expected.size, (
@@ -60,9 +62,9 @@ class TestGoldenVectors:
     @pytest.mark.parametrize("name", FIXTURE_NAMES)
     def test_fixture_decodes_ground_truth(self, name):
         """The pinned decodes are meaningful, not garbage: every fixture
-        was generated in a regime where both packets come out clean."""
+        was generated in a regime where all packets come out clean."""
         data = load(name)
-        for label in ("A", "B"):
+        for label in golden.fixture_labels(name):
             truth = data[f"body_{label}"]
             pinned = data[f"decoded_{label}"][:truth.size]
             ber = float(np.mean(pinned != truth))
@@ -74,13 +76,14 @@ class TestGoldenVectors:
         from its seed — the synthesis side (channel, impairments, medium)
         is pinned too, not just the receive side."""
         data = load(name)
+        labels = golden.fixture_labels(name)
         rebuilt = golden.build_fixture(name)
-        for ci in (0, 1):
+        for ci in range(len(labels)):
             key = f"capture{ci}"
             assert np.array_equal(rebuilt[key], data[key]), (
                 f"{name}: {key} no longer regenerates bit-exactly — "
                 f"synthesis numerics changed. If intentional, regenerate "
                 f"tests/golden/.")
-        for label in ("A", "B"):
+        for label in labels:
             assert np.array_equal(rebuilt[f"body_{label}"],
                                   data[f"body_{label}"])

@@ -351,7 +351,7 @@ enob = 6.0
         assert aware == {"pair", "capture", "testbed_pair",
                          "hidden_pair_impaired", "hidden_pair_fading",
                          "hidden_pair_frontend", "ap_stream",
-                         "offered_load"}
+                         "offered_load", "three_senders_stream"}
 
     def test_override_bad_path(self, spec):
         with pytest.raises(ConfigurationError, match="impairment override"):

@@ -93,6 +93,115 @@ class TestClosedLoop:
             == {n: s.delivered for n, s in b.flows.items()}
 
 
+class TestHiddenCliques:
+    """n mutually-hidden clients: the §4.5 k-way regime, online."""
+
+    def clique_clients(self):
+        return [StreamClient("A", 1, 13.0, 3e-3),
+                StreamClient("B", 2, 13.0, -2e-3),
+                StreamClient("C", 3, 13.0, 1e-3)]
+
+    def test_collision_packets_derived_from_topology(self):
+        assert SessionConfig().collision_packets() == 2
+        assert SessionConfig(
+            hidden_pairs=(("A", "B"),)).collision_packets() == 2
+        assert SessionConfig(
+            hidden_cliques=(("A", "B", "C"),)).collision_packets() == 3
+        # A triangle declared pairwise is still a 3-clique.
+        assert SessionConfig(
+            hidden_pairs=(("A", "B"), ("B", "C"),
+                          ("A", "C"))).collision_packets() == 3
+        # Explicit override wins.
+        assert SessionConfig(
+            hidden_cliques=(("A", "B", "C", "D"),),
+            max_collision_packets=2).collision_packets() == 2
+
+    def test_clique_expands_to_all_pairs(self):
+        edges = SessionConfig(
+            hidden_cliques=(("A", "B", "C"),)).hidden_edges()
+        assert edges == {frozenset(p) for p in
+                         (("A", "B"), ("A", "C"), ("B", "C"))}
+
+    def test_three_way_clique_session_resolves_multiway(self):
+        """The closed loop resolves k-way collision sets end to end:
+        three mutually-hidden senders, every collision carrying all
+        three packets, decoded through the buffer's match graph."""
+        report = run_session("zigzag", clients=self.clique_clients(),
+                             seed=2,
+                             hidden_cliques=(("A", "B", "C"),))
+        rx = report.receiver_stats
+        assert rx.multiway_matches > 0
+        assert rx.packets_multiway >= 3
+        assert report.total_delivered >= 6  # most of the 9 packets land
+        assert not report.timed_out
+
+    def test_short_clique_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionConfig(hidden_cliques=(("A",),)).collision_packets()
+
+    def test_unknown_clique_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSession(SessionConfig(hidden_cliques=(("A", "B", "Z"),)),
+                        self.clique_clients())
+
+
+class TestAckPlanning:
+    """Lemma 4.4.1 generalized to k resolved packets."""
+
+    class _Result:
+        def __init__(self, src, seq):
+            from repro.phy.frame import FrameHeader
+            self.header = FrameHeader(src=src, dst=0, seq=seq,
+                                      retry=False, modulation="bpsk",
+                                      payload_bits=64)
+
+    def _session(self):
+        return LinkSession(SessionConfig(n_packets=1, payload_bits=200),
+                           [StreamClient("A", 1, 12.0),
+                            StreamClient("B", 2, 12.0),
+                            StreamClient("C", 3, 12.0)],
+                           rng=np.random.default_rng(0))
+
+    def test_all_ackable_with_long_tails(self):
+        session = self._session()
+        need = session.sifs + session.ack_air
+        # Staggered finishes: each earlier packet leaves the last one a
+        # tail long enough for its serialized SIFS+ACK slot.
+        session.tx_log = {
+            (1, 0): (0, 1000),
+            (2, 0): (500, 1000 + 3 * need),
+            (3, 0): (900, 1000 + 9 * need),
+        }
+        results = [self._Result(src, 0) for src in (1, 2, 3)]
+        acked = session._plan_acks(results)
+        assert sorted(acked) == [(1, 0), (2, 0), (3, 0)]
+        assert session.counters["acks_infeasible"] == 0
+
+    def test_short_tail_drops_earliest_ack(self):
+        session = self._session()
+        # All three end nearly together: earlier finishers have no tail
+        # to be ACKed in; only the last-finishing packet is ACKable.
+        session.tx_log = {
+            (1, 0): (0, 1000),
+            (2, 0): (10, 1002),
+            (3, 0): (20, 1004),
+        }
+        results = [self._Result(src, 0) for src in (1, 2, 3)]
+        acked = session._plan_acks(results)
+        assert acked == [(3, 0)]
+        assert session.counters["acks_infeasible"] == 2
+
+    def test_pair_behaviour_unchanged(self):
+        session = self._session()
+        need = session.sifs + session.ack_air
+        session.tx_log = {(1, 0): (0, 1000),
+                          (2, 0): (800, 1100 + 2 * need)}
+        results = [self._Result(src, 0) for src in (1, 2)]
+        assert sorted(session._plan_acks(results)) == [(1, 0), (2, 0)]
+        session.tx_log = {(1, 0): (0, 1000), (2, 0): (10, 1002)}
+        assert session._plan_acks(results) == [(2, 0)]
+
+
 class TestValidation:
     def test_duplicate_src_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.mac.ack import AckPlanner, ack_offset_lower_bound, ack_offset_probability
+from repro.mac.ack import (
+    AckPlanner,
+    ack_offset_lower_bound,
+    ack_offset_probability,
+    plan_synchronous_acks,
+)
 from repro.mac.backoff import ExponentialBackoff, FixedWindowBackoff
 from repro.mac.dcf import DcfConfig, DcfSimulator, TransmissionEvent
 from repro.mac.hidden import HiddenScenario, collision_offset_pairs, slot_to_samples
@@ -96,6 +101,45 @@ class TestAckLemma:
         with pytest.raises(ConfigurationError):
             AckPlanner().plan(offset_us=-1.0, first_duration_us=10,
                               second_duration_us=10)
+
+
+class TestSynchronousAckSet:
+    """plan_synchronous_acks: Lemma 4.4.1 generalized to k packets."""
+
+    SIFS, ACK = 10.0, 30.0
+
+    def test_pair_matches_planner(self):
+        """The k = 2 case agrees with AckPlanner.plan on both sides of
+        the feasibility boundary (same rule, one source of truth)."""
+        planner = AckPlanner()
+        for offset_us in (5.0, 39.0, 40.0, 41.0, 200.0):
+            plan = planner.plan(offset_us=offset_us,
+                                first_duration_us=1000.0,
+                                second_duration_us=1000.0)
+            flags = plan_synchronous_acks(
+                [1000.0], offset_us + 1000.0, self.SIFS, self.ACK)
+            assert flags == [plan.feasible], offset_us
+
+    def test_serialized_slots_consume_the_tail(self):
+        # Two earlier packets whose ACK windows both fit, but only
+        # because the second ACK is pushed past the first.
+        flags = plan_synchronous_acks([0.0, 10.0], 100.0,
+                                      self.SIFS, self.ACK)
+        assert flags == [True, True]
+        # The push matters: the third packet's own window ([30, 60])
+        # fits the tail easily, but serialization behind the first two
+        # ACKs runs it past the last packet's end.
+        flags = plan_synchronous_acks([0.0, 10.0, 20.0], 95.0,
+                                      self.SIFS, self.ACK)
+        assert flags == [True, True, False]
+
+    def test_completed_ack_frees_the_air(self):
+        """A long-finished earlier ACK must not block a later one whose
+        own window fits (regression: the slot count used to be charged
+        against every later packet's tail)."""
+        flags = plan_synchronous_acks([0.0, 300.0], 400.0,
+                                      self.SIFS, self.ACK)
+        assert flags == [True, True]
 
 
 class TestDcf:

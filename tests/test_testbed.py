@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.testbed.metrics import BER_DELIVERY_THRESHOLD, FlowStats, loss_rate, normalized_throughput
+from repro.testbed.metrics import (
+    BER_DELIVERY_THRESHOLD,
+    FlowStats,
+    loss_rate,
+    normalized_throughput,
+)
 from repro.testbed.pathloss import LogDistancePathLoss
 from repro.testbed.topology import SensingClass, Testbed, default_testbed
 
