@@ -35,6 +35,9 @@ __all__ = [
     "convolutional_decode_soft",
     "mueller_muller_process",
     "reencoder_image",
+    "batched_matched_sampler_loop",
+    "batched_phase_tracker_loop",
+    "batched_viterbi_loop",
     "use_reference_kernels",
 ]
 
@@ -465,6 +468,59 @@ def find_correlation_peaks(signal, preamble, *, freq_offset: float = 0.0,
             break
     peaks.sort(key=lambda p: p.position)
     return peaks
+
+
+# ----------------------------------------------------------------------
+# Batched-vs-loop pairs (trial-axis kernels)
+# ----------------------------------------------------------------------
+# The trial-axis kernels in repro.phy.batch did not *replace* scalar
+# code — the scalar loop over lanes IS their baseline. These loops are
+# the before side of the batched microbenches and the oracle the batched
+# equivalence tests compare against.
+def batched_matched_sampler_loop(shaper, padded, origin, starts,
+                                 count: int) -> np.ndarray:
+    """One scalar :class:`MatchedSampler` call per lane — the baseline of
+    ``BatchedMatchedSampler.sample`` on the same padded buffer. The
+    scalar sampler re-pads implicitly, so handing it each row beyond
+    *origin* (whose margin is zeros by the batched calling convention)
+    reproduces the batched zero-padding semantics."""
+    sampler = MatchedSampler(shaper)
+    starts = np.asarray(starts, dtype=float).ravel()
+    out = np.empty((padded.shape[0], count), dtype=complex)
+    for lane in range(padded.shape[0]):
+        out[lane] = sampler.sample(padded[lane, origin:],
+                                   float(starts[lane]), count)
+    return out
+
+
+def batched_phase_tracker_loop(kp: float, ki: float, phase, freq,
+                               z, constellation,
+                               known=None) -> tuple:
+    """One scalar :class:`PhaseTracker` per lane — the baseline of
+    ``BatchedPhaseTracker.process`` (fresh trackers seeded with the
+    per-lane state, exactly what the batched state arrays hold)."""
+    phase = np.asarray(phase, dtype=float).ravel()
+    freq = np.asarray(freq, dtype=float).ravel()
+    z = np.asarray(z, dtype=complex)
+    soft = np.empty_like(z)
+    decisions = np.empty_like(z)
+    phases = np.empty(z.shape, dtype=float)
+    for lane in range(z.shape[0]):
+        tracker = PhaseTracker(kp=kp, ki=ki, phase=float(phase[lane]),
+                               freq=float(freq[lane]))
+        lane_known = None if known is None else known[lane]
+        soft[lane], decisions[lane], phases[lane] = tracker.process(
+            z[lane], constellation, known=lane_known)
+    return soft, decisions, phases
+
+
+def batched_viterbi_loop(code: ConvolutionalCode, soft,
+                         terminated: bool = True) -> np.ndarray:
+    """One scalar Viterbi pass per lane — the baseline of
+    ``ConvolutionalCode.decode_soft_batch``."""
+    soft = np.asarray(soft, dtype=float)
+    return np.stack([code.decode_soft(row, terminated=terminated)
+                     for row in soft])
 
 
 @contextlib.contextmanager

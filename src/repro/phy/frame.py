@@ -25,7 +25,7 @@ from repro.phy.preamble import Preamble, default_preamble, lfsr_sequence
 from repro.utils.bits import as_bit_array, bits_from_int, bits_to_int
 
 __all__ = ["FrameHeader", "Frame", "build_frame_bits", "parse_frame_bits",
-           "scramble_bits", "descramble_soft_bpsk"]
+           "scramble_bits", "scrambler_sequence", "descramble_soft_bpsk"]
 
 # Additive scrambler PN sequence (order-9 LFSR, fixed seed), regenerated on
 # demand up to the longest frame seen. 802.11 scrambles all PSDU bits for
@@ -35,16 +35,25 @@ __all__ = ["FrameHeader", "Frame", "build_frame_bits", "parse_frame_bits",
 _SCRAMBLER_CACHE = lfsr_sequence(4096, order=9, seed_state=0b101010101)
 
 
-def scramble_bits(bits, offset: int = 0) -> np.ndarray:
-    """XOR *bits* with the frame scrambler PN, starting at PN index
-    *offset*. Self-inverse: apply again (same offset) to descramble."""
+def scrambler_sequence(length: int, offset: int = 0) -> np.ndarray:
+    """The frame scrambler PN bits ``[offset, offset + length)``.
+
+    Returns a read-only view into the shared cache — batched consumers XOR
+    it across a whole ``(N, bits)`` stack at once. Do not mutate.
+    """
     global _SCRAMBLER_CACHE
-    arr = as_bit_array(bits)
-    needed = offset + arr.size
+    needed = offset + length
     if needed > _SCRAMBLER_CACHE.size:
         _SCRAMBLER_CACHE = lfsr_sequence(
             2 * needed, order=9, seed_state=0b101010101)
-    return arr ^ _SCRAMBLER_CACHE[offset:offset + arr.size]
+    return _SCRAMBLER_CACHE[offset:offset + length]
+
+
+def scramble_bits(bits, offset: int = 0) -> np.ndarray:
+    """XOR *bits* with the frame scrambler PN, starting at PN index
+    *offset*. Self-inverse: apply again (same offset) to descramble."""
+    arr = as_bit_array(bits)
+    return arr ^ scrambler_sequence(arr.size, offset)
 
 
 def descramble_soft_bpsk(soft, offset: int = 0) -> np.ndarray:

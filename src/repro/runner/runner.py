@@ -23,14 +23,18 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.runner.results import RunResult, SweepResult, TrialResult
 from repro.runner.scenarios import (
     TrialContext,
+    get_batched_scenario,
     get_scenario,
     scenario_designs,
     scenario_supports_impairments,
 )
+from repro.runner.shm import CaptureRef, SharedCaptureArena
 from repro.runner.spec import ScenarioSpec
 
 __all__ = ["MonteCarloRunner"]
@@ -61,6 +65,41 @@ def _scenario_batch(spec_dict: dict, indices: Sequence[int]
     fn = get_scenario(spec.kind)
     return [_coerce_trial(fn(spec, TrialContext.for_trial(spec.seed, i)), i)
             for i in indices]
+
+
+def _synth_batch_shm(spec_dict: dict, indices: Sequence[int],
+                     arena_name: str | None, n_slots: int,
+                     slot_samples: int, captures_per_trial: int) -> list:
+    """Worker entry point: synthesize a batch of trials for batched decode.
+
+    Runs the scenario's rng-bound synthesis hook per trial (same
+    per-trial :class:`TrialContext` streams as the loop path) and writes
+    each capture into its preassigned shared-memory slot — trial *i*'s
+    capture *j* owns slot ``i * captures_per_trial + j``, so workers
+    never contend and need no locking. Captures that overflow their slot
+    (or exceed the per-trial slot count) travel pickled instead.
+    """
+    spec = ScenarioSpec.from_dict(spec_dict)
+    hooks = get_batched_scenario(spec.kind)
+    arena = None
+    if arena_name is not None:
+        arena = SharedCaptureArena.attach(arena_name, n_slots,
+                                          slot_samples)
+    try:
+        out = []
+        for i in indices:
+            payload = hooks.synthesize(
+                spec, TrialContext.for_trial(spec.seed, i))
+            if arena is not None:
+                payload.captures = [
+                    arena.write(i * captures_per_trial + j
+                                if j < captures_per_trial else -1, c)
+                    for j, c in enumerate(payload.captures)]
+            out.append(payload)
+        return out
+    finally:
+        if arena is not None:
+            arena.close()
 
 
 def _map_batch(fn: Callable, root_seed: int,
@@ -124,7 +163,9 @@ class MonteCarloRunner:
                 "offered_load)")
         indices = list(range(spec.n_trials))
         started = time.perf_counter()
-        if self.n_workers == 1 or len(indices) <= 1:
+        if spec.batch_size > 1:
+            trials = self._run_batched(spec, indices)
+        elif self.n_workers == 1 or len(indices) <= 1:
             trials = _scenario_batch(spec.to_dict(), indices)
         else:
             spec_dict = spec.to_dict()
@@ -137,6 +178,60 @@ class MonteCarloRunner:
         return RunResult(spec=spec, trials=trials,
                          n_workers=self.n_workers,
                          elapsed=time.perf_counter() - started)
+
+    def _run_batched(self, spec: ScenarioSpec,
+                     indices: list[int]) -> list[TrialResult]:
+        """Batched execution: pooled synthesis, trial-axis decode.
+
+        Workers run only the rng-bound synthesis (with per-trial seed
+        streams identical to the loop path) and hand captures over
+        through one parent-owned shared-memory arena; the parent then
+        decodes ``spec.batch_size`` trials per pass through the
+        scenario's batched engine, in trial-index order. Results are
+        bit-identical to the loop path for any batch size or worker
+        count — the batched engine's equivalence contract plus unchanged
+        seeding make the mode a pure throughput knob.
+        """
+        hooks = get_batched_scenario(spec.kind)
+        per_trial = hooks.captures_per_trial
+        use_pool = self.n_workers > 1 and len(indices) > 1
+        payloads: list = [None] * len(indices)
+        arena = None
+        try:
+            if not use_pool:
+                for i in indices:
+                    payloads[i] = hooks.synthesize(
+                        spec, TrialContext.for_trial(spec.seed, i))
+            else:
+                arena = SharedCaptureArena.create(
+                    len(indices) * per_trial,
+                    hooks.capture_samples_bound(spec))
+                spec_dict = spec.to_dict()
+                with self._pool() as pool:
+                    futures = [
+                        pool.submit(_synth_batch_shm, spec_dict, batch,
+                                    arena.name, arena.n_slots,
+                                    arena.slot_samples, per_trial)
+                        for batch in self._batches(indices)]
+                    for future in futures:
+                        for payload in future.result():
+                            payloads[payload.index] = payload
+                for payload in payloads:
+                    payload.captures = [
+                        ref.resolve(arena) if isinstance(ref, CaptureRef)
+                        else np.asarray(ref, dtype=complex).ravel()
+                        for ref in payload.captures]
+            trials = []
+            for lo in range(0, len(payloads), spec.batch_size):
+                group = payloads[lo:lo + spec.batch_size]
+                results = hooks.decode(spec, group)
+                trials.extend(
+                    _coerce_trial(result, payload.index)
+                    for result, payload in zip(results, group))
+            return trials
+        finally:
+            if arena is not None:
+                arena.close()
 
     def sweep(self, spec: ScenarioSpec, param: str,
               values: Sequence[Any]) -> SweepResult:

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ConfigurationError, ReproError, ScheduleError
 from repro.mac.hidden import HiddenScenario
 from repro.phy.channel import ChannelParams
+from repro.phy.frame import HEADER_BITS
 from repro.phy.impairments import ImpairmentPipeline
 from repro.phy.medium import Transmission, synthesize
 from repro.phy.sync import Synchronizer
@@ -48,15 +49,20 @@ from repro.testbed.experiment import (
 from repro.testbed.metrics import BER_DELIVERY_THRESHOLD, FlowStats
 from repro.testbed.topology import SensingClass, default_testbed
 from repro.utils.bits import bit_error_rate
+from repro.zigzag.batch import BatchedPairDecoder
 from repro.zigzag.decoder import ZigZagPairDecoder, extract_bits
 from repro.zigzag.engine import PacketSpec
 from repro.zigzag.schedule import Placement, greedy_schedule
 
 __all__ = [
+    "BatchedScenarioHooks",
+    "CollisionPayload",
     "TrialContext",
     "available_scenarios",
     "get_scenario",
+    "get_batched_scenario",
     "scenario",
+    "scenario_supports_batching",
     "scenario_supports_impairments",
 ]
 
@@ -142,6 +148,69 @@ def available_scenarios() -> dict[str, str]:
     """``{kind: first docstring line}`` for every registered scenario."""
     return {name: (fn.__doc__ or "").strip().splitlines()[0]
             for name, fn in sorted(_REGISTRY.items())}
+
+
+# ----------------------------------------------------------------------
+# Batched execution hooks (ScenarioSpec.batch_size > 1)
+# ----------------------------------------------------------------------
+@dataclass
+class CollisionPayload:
+    """One trial's synthesized collision, ready for decoding.
+
+    The batched execution mode splits a trial into rng-bound synthesis
+    (workers) and numpy-bound decoding (the parent's trial-axis engine);
+    this is what crosses the boundary. ``captures`` holds raw sample
+    arrays in the parent, but :class:`~repro.runner.shm.CaptureRef`
+    entries while in flight through shared memory. ``error`` set means
+    synthesis itself failed and the decode stage must skip the trial
+    (the loop path records the same failure metrics).
+    """
+
+    index: int
+    captures: list
+    specs: dict[str, PacketSpec]
+    placements: list[Placement]
+    truth: dict[str, np.ndarray]
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class BatchedScenarioHooks:
+    """How a scenario runs under ``batch_size > 1``.
+
+    ``synthesize(spec, ctx)`` builds one trial's :class:`CollisionPayload`
+    drawing ONLY from ``ctx`` — the same per-trial SeedSequence streams
+    the loop path uses, which is what keeps results batch-size-invariant.
+    ``decode(spec, payloads)`` turns a batch of payloads into
+    per-trial :class:`TrialResult`s (same order). ``captures_per_trial``
+    and ``capture_samples_bound`` size the shared-memory arena; the bound
+    is advisory — oversized captures fall back to pickling.
+    """
+
+    synthesize: Callable[[ScenarioSpec, TrialContext], CollisionPayload]
+    decode: Callable[[ScenarioSpec, list], list[TrialResult]]
+    captures_per_trial: int
+    capture_samples_bound: Callable[[ScenarioSpec], int]
+
+
+_BATCHED_REGISTRY: dict[str, BatchedScenarioHooks] = {}
+
+
+def scenario_supports_batching(name: str) -> bool:
+    """Does the scenario register a trial-axis batched engine?"""
+    get_scenario(name)  # raise on unknown kinds
+    return name in _BATCHED_REGISTRY
+
+
+def get_batched_scenario(name: str) -> BatchedScenarioHooks:
+    """Look up a scenario's batched hooks by ``kind``."""
+    get_scenario(name)  # raise on unknown kinds
+    try:
+        return _BATCHED_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"scenario {name!r} has no batched engine; set batch_size = 1 "
+            f"(batched kinds: {sorted(_BATCHED_REGISTRY)})") from None
 
 
 # ----------------------------------------------------------------------
@@ -758,3 +827,148 @@ def hidden_pair_frontend_trial(spec: ScenarioSpec,
              "dc_i": float(spec.param("dc_offset", 0.01)) * amplitude,
              "dc_q": -float(spec.param("dc_offset", 0.01)) * amplitude},
         ))
+
+
+# ----------------------------------------------------------------------
+# Batched hidden-pair decode (the batch_size > 1 reference scenario)
+# ----------------------------------------------------------------------
+def _pair_stream_config(spec: ScenarioSpec) -> StreamConfig:
+    return StreamConfig(preamble=cached_preamble(spec.preamble_length),
+                        shaper=cached_shaper(),
+                        noise_power=spec.channel.noise_power)
+
+
+def _hidden_pair_decode_synth(spec: ScenarioSpec,
+                              ctx: TrialContext) -> CollisionPayload:
+    """Synthesize one hidden-pair trial from the trial's own rng.
+
+    This is the rng-bound half of a ``hidden_pair_decode`` trial — every
+    draw comes from ``ctx.rng`` in the same order regardless of
+    ``batch_size``, so per-trial seed streams (and therefore results)
+    are identical between the loop and batched modes.
+    """
+    rng = ctx.rng
+    preamble = cached_preamble(spec.preamble_length)
+    shaper = cached_shaper()
+    imp = spec.impairments
+    sender_pipe = imp.sender_pipeline() if imp.sender else None
+    capture_pipe = imp.capture_pipeline() if imp.capture else None
+    try:
+        captures, frames, specs, placements = hidden_pair_scenario(
+            rng, preamble, shaper,
+            snr_db=float(spec.param("snr_db", 12.0)),
+            payload_bits=spec.payload_bits,
+            noise_power=spec.channel.noise_power,
+            sender_impairments=sender_pipe,
+            capture_impairments=capture_pipe)
+    except ReproError as exc:
+        return CollisionPayload(ctx.index, [], {}, [], {},
+                                error=str(exc))
+    return CollisionPayload(
+        index=ctx.index,
+        captures=[c.samples for c in captures],
+        specs=specs,
+        placements=placements,
+        truth={name: frames[name].body_bits for name in frames})
+
+
+def _pair_payload_result(payload: CollisionPayload,
+                         outcome) -> TrialResult:
+    """Per-trial metrics + FlowStats from a (possibly failed) decode.
+
+    Shared verbatim by the loop and batched paths so the two modes can
+    only differ if the decoded bits themselves differ.
+    """
+    flows = {name: FlowStats() for name in sorted(payload.truth)} or \
+        {name: FlowStats() for name in ("A", "B")}
+    bers = {}
+    for name, stats in flows.items():
+        ber = 1.0
+        if outcome is not None and name in outcome.results:
+            ber = float(outcome.results[name].ber_against(
+                payload.truth[name]))
+        bers[name] = ber
+        stats.record(ber)
+    delivered = float(sum(b < BER_DELIVERY_THRESHOLD
+                          for b in bers.values()))
+    return TrialResult(
+        index=payload.index,
+        metrics={"ber": float(np.mean(list(bers.values()))),
+                 "delivered": delivered,
+                 "decode_failed": float(outcome is None)},
+        flows=flows)
+
+
+@scenario("hidden_pair_decode", designs=None, impairments=True)
+def hidden_pair_decode_trial(spec: ScenarioSpec,
+                             ctx: TrialContext) -> TrialResult:
+    """ZigZag hidden-pair decode with an optional batched engine.
+
+    One canonical two-collision hidden pair per trial; metrics are the
+    pair-mean BER against ground truth, packets delivered (of 2), and a
+    decode-failure flag, plus per-sender :class:`FlowStats`. With
+    ``batch_size > 1`` the runner synthesizes trials in the worker pool
+    and decodes them through the trial-axis
+    :class:`~repro.zigzag.batch.BatchedPairDecoder` in groups — results
+    are bit-identical to this loop path by the batched engine's
+    equivalence contract.
+    """
+    payload = _hidden_pair_decode_synth(spec, ctx)
+    outcome = None
+    if payload.error is None:
+        try:
+            outcome = ZigZagPairDecoder(_pair_stream_config(spec)).decode(
+                payload.captures, payload.specs, payload.placements)
+        except ReproError:
+            outcome = None
+    return _pair_payload_result(payload, outcome)
+
+
+def _hidden_pair_decode_batch(spec: ScenarioSpec,
+                              payloads: list) -> list[TrialResult]:
+    """Decode a batch of hidden-pair payloads through the trial axis.
+
+    Error parity with the loop path: a whole-batch failure (or a trial
+    whose scalar fallback raises inside ``decode_batch``) replays every
+    trial through the scalar decoder with the loop path's own per-trial
+    try/except, so a failing trial yields the identical failure metrics
+    instead of poisoning its batch.
+    """
+    config = _pair_stream_config(spec)
+    live = [p for p in payloads if p.error is None]
+    outcomes: dict[int, Any] = {}
+    if live:
+        trials = [(p.captures, p.specs, p.placements) for p in live]
+        try:
+            results = BatchedPairDecoder(config).decode_batch(trials)
+        except ReproError:
+            scalar = ZigZagPairDecoder(config)
+            results = []
+            for trial in trials:
+                try:
+                    results.append(scalar.decode(*trial))
+                except ReproError:
+                    results.append(None)
+        for payload, outcome in zip(live, results):
+            outcomes[payload.index] = outcome
+    return [_pair_payload_result(p, outcomes.get(p.index))
+            for p in payloads]
+
+
+def _hidden_pair_capture_bound(spec: ScenarioSpec) -> int:
+    """Upper bound on one capture's sample count (arena slot sizing)."""
+    shaper = cached_shaper()
+    n_symbols = (spec.preamble_length + HEADER_BITS
+                 + spec.payload_bits + 32)
+    waveform = shaper.sps * (n_symbols - 1) + shaper.taps.size
+    # leading=8 + max offset 160 + waveform + tail=40, with slack for
+    # alternate offsets via params; overflow just falls back to pickle.
+    return int(1.25 * (8 + 160 + waveform + 40)) + 64
+
+
+_BATCHED_REGISTRY["hidden_pair_decode"] = BatchedScenarioHooks(
+    synthesize=_hidden_pair_decode_synth,
+    decode=_hidden_pair_decode_batch,
+    captures_per_trial=2,
+    capture_samples_bound=_hidden_pair_capture_bound,
+)

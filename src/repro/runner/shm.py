@@ -1,0 +1,131 @@
+"""Shared-memory capture handoff between synthesis workers and the
+batched decode engine.
+
+The batched execution mode splits each trial in two: workers synthesize
+captures (the rng-bound half) while the parent runs the trial-axis decode
+engine (the numpy-bound half). Captures are a few hundred kilobytes of
+complex samples each; pickling them through the pool's result queue would
+copy every byte twice. Instead the parent creates **one**
+:class:`~multiprocessing.shared_memory.SharedMemory` block shaped as an
+``(n_slots, slot_samples)`` complex grid, workers attach by name and write
+their captures into preassigned rows, and the parent hands zero-copy row
+views straight to the ``(N, samples)`` engine.
+
+The parent owns the block: it creates it before the pool fans out and
+unlinks it after decoding. Worker-side segments would be torn down by the
+resource tracker at worker exit — parent ownership sidesteps that whole
+class of lifetime bugs. A capture that outgrows its slot (or arrives after
+the arena filled) falls back to pickling, flagged with ``slot == -1``, so
+the arena is purely an optimization and never a correctness constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CaptureRef", "SharedCaptureArena"]
+
+_ITEMSIZE = np.dtype(complex).itemsize
+
+
+@dataclass(frozen=True)
+class CaptureRef:
+    """Where one capture's samples live: an arena slot, or inline.
+
+    ``slot >= 0`` means rows ``arena.view(slot, size)``; ``slot == -1``
+    means the samples travelled pickled in ``inline`` (overflow path).
+    """
+
+    slot: int
+    size: int
+    inline: np.ndarray | None = None
+
+    def resolve(self, arena: "SharedCaptureArena | None") -> np.ndarray:
+        if self.slot < 0:
+            if self.inline is None:
+                raise ConfigurationError("inline capture ref has no data")
+            return self.inline
+        if arena is None:
+            raise ConfigurationError(
+                "arena-backed capture ref but no arena attached")
+        return arena.view(self.slot, self.size)
+
+
+class SharedCaptureArena:
+    """A fixed ``(n_slots, slot_samples)`` complex grid in shared memory.
+
+    Create in the parent with :meth:`create`; workers :meth:`attach` by
+    name. Slot assignment is the caller's business (the runner assigns
+    ``captures_per_trial`` consecutive slots per trial index, so workers
+    never contend for slots and need no locking).
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, n_slots: int,
+                 slot_samples: int, *, owner: bool) -> None:
+        self._shm = shm
+        self.n_slots = n_slots
+        self.slot_samples = slot_samples
+        self._owner = owner
+        self.grid = np.ndarray((n_slots, slot_samples), dtype=complex,
+                               buffer=shm.buf)
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def create(cls, n_slots: int,
+               slot_samples: int) -> "SharedCaptureArena":
+        if n_slots < 1 or slot_samples < 1:
+            raise ConfigurationError("arena needs positive dimensions")
+        shm = shared_memory.SharedMemory(
+            create=True, size=n_slots * slot_samples * _ITEMSIZE)
+        return cls(shm, n_slots, slot_samples, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, n_slots: int,
+               slot_samples: int) -> "SharedCaptureArena":
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, n_slots, slot_samples, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release this process's mapping (owner additionally unlinks)."""
+        # Views into the buffer must be dropped before close(); the
+        # runner copies anything it keeps past decode.
+        self.grid = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+
+    # -- access ---------------------------------------------------------
+    def write(self, slot: int, samples: np.ndarray) -> CaptureRef:
+        """Store *samples* into *slot*, or fall back to an inline ref.
+
+        Zero-fills the slot's tail so stale bytes from arena reuse can
+        never alias into a later, shorter capture.
+        """
+        arr = np.asarray(samples, dtype=complex).ravel()
+        if not 0 <= slot < self.n_slots or arr.size > self.slot_samples:
+            return CaptureRef(slot=-1, size=arr.size, inline=arr)
+        row = self.grid[slot]
+        row[:arr.size] = arr
+        row[arr.size:] = 0
+        return CaptureRef(slot=slot, size=arr.size)
+
+    def view(self, slot: int, size: int) -> np.ndarray:
+        """Zero-copy view of the first *size* samples of *slot*."""
+        if not 0 <= slot < self.n_slots:
+            raise ConfigurationError(f"slot {slot} out of range")
+        if size > self.slot_samples:
+            raise ConfigurationError(
+                f"size {size} exceeds slot capacity {self.slot_samples}")
+        return self.grid[slot, :size]

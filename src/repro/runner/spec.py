@@ -199,6 +199,10 @@ class ScenarioSpec:
     preamble_length: int = 32
     n_trials: int = 4
     seed: int = 0
+    # Decode batch size for scenarios with a registered batched engine:
+    # 1 = the per-trial loop path; > 1 groups that many trials per
+    # trial-axis decode pass. Per-trial seed streams are unaffected.
+    batch_size: int = 1
     params: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -211,6 +215,8 @@ class ScenarioSpec:
             raise ConfigurationError("sense_probability must be in [0, 1]")
         if self.n_trials < 1:
             raise ConfigurationError("n_trials must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
         if isinstance(self.params, dict):
             object.__setattr__(self, "params",
                                tuple(sorted(self.params.items())))
@@ -271,7 +277,7 @@ class ScenarioSpec:
         scalar_fields = [
             "kind", "design", "sense_probability", "payload_bits",
             "n_packets", "max_rounds", "slot_samples", "modulation",
-            "preamble_length", "n_trials", "seed",
+            "preamble_length", "n_trials", "seed", "batch_size",
         ]
         out: dict[str, Any] = {
             "scenario": {name: getattr(self, name)

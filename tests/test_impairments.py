@@ -349,6 +349,7 @@ enob = 6.0
         aware = {name for name in available_scenarios()
                  if scenario_supports_impairments(name)}
         assert aware == {"pair", "capture", "testbed_pair",
+                         "hidden_pair_decode",
                          "hidden_pair_impaired", "hidden_pair_fading",
                          "hidden_pair_frontend", "ap_stream",
                          "offered_load", "three_senders_stream"}

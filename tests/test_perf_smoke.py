@@ -1,0 +1,63 @@
+"""Perf-harness smoke: both execution modes produce complete entries.
+
+``make perfbench-smoke`` (CI) runs the whole suite at tiny sizes; these
+tests pin the report *schema* at even tinier sizes so harness rot is a
+tier-1 failure instead of a silent CI artifact change. The end-to-end
+benches are parameterized over the two execution modes — ``loop``
+(per-trial scalar decode) and ``batched`` (trial-axis engine) — and
+each entry must record its speedup field plus enough context
+(trial counts, payload size, lockstep/fallback split) to interpret the
+number later.
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.bench import (
+    _bench_batched_end_to_end,
+    _bench_end_to_end,
+    _build_kernel_benches,
+)
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return {
+        "loop": _bench_end_to_end(2, payload_bits=64, repeats=1),
+        "batched": _bench_batched_end_to_end(4, payload_bits=64,
+                                             repeats=1),
+    }
+
+
+@pytest.mark.parametrize("mode", ["loop", "batched"])
+def test_mode_entry_records_speedup(entries, mode):
+    entry = entries[mode]
+    assert entry["scenario"] == "hidden_pair_decode"
+    assert entry["mode"] == mode
+    assert np.isfinite(entry["speedup"]) and entry["speedup"] > 0
+
+
+def test_loop_entry_schema(entries):
+    entry = entries["loop"]
+    assert entry["n_trials"] == 2
+    for key in ("trials_per_sec_before", "trials_per_sec_after",
+                "seconds_before", "seconds_after"):
+        assert entry[key] > 0
+
+
+def test_batched_entry_schema(entries):
+    entry = entries["batched"]
+    assert entry["batch_size"] == 4
+    assert entry["lockstep_trials"] + entry["fallback_trials"] == 4
+    for key in ("trials_per_sec_loop", "trials_per_sec_batched",
+                "seconds_loop", "seconds_batched"):
+        assert entry[key] > 0
+    # The recorded speedup is the ratio of the recorded throughputs.
+    assert entry["speedup"] == pytest.approx(
+        entry["trials_per_sec_batched"] / entry["trials_per_sec_loop"])
+
+
+def test_kernel_bench_table_includes_batched_kernels():
+    names = {bench.name for bench in _build_kernel_benches(512)}
+    assert {"batched_matched_sampler", "batched_phase_tracker",
+            "batched_viterbi"} <= names
