@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test cov lint smoke stream-smoke bench examples perfbench perfbench-smoke
+.PHONY: verify test cov lint smoke stream-smoke chaos-smoke bench examples perfbench perfbench-smoke
 
 # The full gate: tier-1 tests plus a fast runner smoke sweep.
 verify: test smoke
@@ -44,6 +44,16 @@ smoke:
 stream-smoke:
 	$(PYTHON) -m repro run examples/scenarios/ap_stream.toml \
 		--trials 1 --set n_packets=2
+
+# Chaos soak (docs/resilience.md): worker kills, injected exceptions,
+# hangs and shared-memory corruption against a supervised run — every
+# fault kind at once — asserting zero lost trials, surviving results
+# bit-identical to a fault-free run, and zero leaked /dev/shm arenas.
+# Plus the full supervision test suite (checkpoint/resume, watchdog,
+# SIGKILL-parent recovery).
+chaos-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_chaos_soak.py \
+		tests/test_runner_resilience.py
 
 # Regenerate every paper figure/table (slow; writes benchmarks/results/).
 bench:

@@ -56,3 +56,56 @@ class ScheduleError(ReproError):
 
 class TrackingError(ReproError):
     """A tracking loop (phase / timing) diverged beyond recoverable bounds."""
+
+
+class FaultInjectionError(ReproError):
+    """An error raised on purpose by the chaos-injection harness.
+
+    Never raised outside a run whose spec carries a ``[faults]`` table;
+    its appearance in a failure report means the supervisor saw exactly
+    the fault the harness injected.
+    """
+
+
+class TrialTimeoutError(ReproError):
+    """A trial exceeded the supervisor's per-batch watchdog timeout."""
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died mid-batch (OOM kill, segfault, ``os._exit``).
+
+    The supervisor raises this only after pool respawns and the inline
+    fallback have both been exhausted for the affected trials.
+    """
+
+
+class CaptureTransportError(ReproError):
+    """A shared-memory capture failed checksum verification on arrival.
+
+    The batched engine treats this as a transport fault, not a trial
+    failure: the affected trial is re-synthesized inline from its own
+    :class:`~numpy.random.SeedSequence`, so the recovered result is
+    bit-identical to an uncorrupted run.
+    """
+
+
+class RunAbortedError(ReproError):
+    """A run stopped early under the ``fail_fast`` failure policy.
+
+    Carries the :class:`~repro.runner.resilience.TrialFailure` records
+    collected before the abort in :attr:`failures`.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+def error_class(exc: BaseException) -> str:
+    """The taxonomy label for an exception: its most-derived class name.
+
+    :class:`ReproError` subclasses *are* the taxonomy; anything else
+    (``ValueError`` from numpy, ``MemoryError``, ...) reports its builtin
+    class name so failure accounting still groups meaningfully.
+    """
+    return type(exc).__name__

@@ -15,15 +15,31 @@ scenarios. This subsystem turns those sweeps into data, declaratively:
   ``kind`` to a trial function;
 - :mod:`repro.runner.cache` — a per-process cache of expensive reference
   signals (preambles, pulse shapers, synchronizers) reused across trials;
+- :mod:`repro.runner.resilience` — the supervision layer: per-trial
+  fault isolation (:class:`FailurePolicy`, :class:`TrialFailure`), pool
+  crash recovery and watchdog timeouts (:class:`PoolSupervisor`), and
+  checkpoint/resume journaling (:class:`CheckpointJournal`);
+- :mod:`repro.runner.chaos` — deterministic fault injection
+  (:class:`FaultSpec`) for proving the supervision layer never changes
+  what a surviving trial computes;
 - :mod:`repro.runner.cli` — the ``python -m repro`` command line.
 
 Results are bit-identical for a given seed regardless of worker count:
 trial *i* always draws from ``SeedSequence(seed, spawn_key=(i,))`` and
-aggregation is ordered by trial index.
+aggregation is ordered by trial index. The same holds under faults: a
+retried trial re-derives the same child sequence, so chaos-injected runs
+agree bit-for-bit with fault-free runs on every surviving trial.
 """
 
 from repro.runner.builders import hidden_pair_scenario
 from repro.runner.cache import SignalCache, cache_stats, shared_cache
+from repro.runner.chaos import FaultSpec
+from repro.runner.resilience import (
+    CheckpointJournal,
+    FailurePolicy,
+    SupervisorStats,
+    TrialFailure,
+)
 from repro.runner.results import (
     RunResult,
     SweepResult,
@@ -31,6 +47,7 @@ from repro.runner.results import (
     merge_flow_stats,
 )
 from repro.runner.runner import MonteCarloRunner
+from repro.runner.shm import cleanup_arenas, find_leaked_arenas
 from repro.runner.scenarios import (
     TrialContext,
     available_scenarios,
@@ -51,17 +68,24 @@ from repro.runner.spec import (
 __all__ = [
     "BackoffSpec",
     "ChannelSpec",
+    "CheckpointJournal",
+    "FailurePolicy",
+    "FaultSpec",
     "ImpairmentsSpec",
     "MonteCarloRunner",
     "RunResult",
     "ScenarioSpec",
     "SenderSpec",
     "SignalCache",
+    "SupervisorStats",
     "SweepResult",
     "TrialContext",
+    "TrialFailure",
     "TrialResult",
     "available_scenarios",
     "cache_stats",
+    "cleanup_arenas",
+    "find_leaked_arenas",
     "get_scenario",
     "hidden_pair_scenario",
     "merge_flow_stats",

@@ -4,6 +4,7 @@ Commands::
 
     repro run SCENARIO.toml [--workers N] [--trials N] [--seed S]
                             [--set key=value ...] [--json]
+                            [--checkpoint PATH [--resume]]
     repro sweep SCENARIO.toml --param snr_db=0:20:2 [--metrics a,b] ...
     repro list
     repro demo [--seed S]
@@ -14,6 +15,14 @@ CI per metric) plus merged per-flow counters. ``sweep`` re-runs the
 scenario along a parameter grid and prints one row per grid point.
 ``--set`` applies dotted-path overrides (``channel.noise_power=0.5``,
 ``sender.alice.snr_db=14``, ``params.sinr_db=8``) before running.
+
+``--checkpoint PATH`` journals completed trials to a JSONL file as they
+land; re-running with ``--resume`` skips everything already journaled
+(the journal carries a digest of the spec, so resuming with a different
+scenario is rejected). Failure handling — retries, watchdog timeouts,
+skip-vs-abort — is configured in the scenario file's ``[resilience]``
+table; when trials fail under ``mode = "skip"`` or ``"retry"``, ``run``
+prints a failure summary table after the metrics.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ import argparse
 import json
 import sys
 
-from repro.errors import ReproError
+from repro.errors import ReproError, RunAbortedError
 from repro.runner.results import RunResult
 from repro.runner.runner import MonteCarloRunner
 from repro.runner.scenarios import available_scenarios, scenario_designs
@@ -51,6 +60,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="dotted-path override, repeatable")
         p.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
+        p.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="journal completed trials to a JSONL file")
+        p.add_argument("--resume", action="store_true",
+                       help="skip trials already in --checkpoint "
+                            "(validated against the spec)")
 
     run_p = sub.add_parser("run", help="run one scenario file")
     add_common(run_p)
@@ -108,13 +122,26 @@ def _print_run(result: RunResult, as_json: bool) -> None:
             "seed": result.spec.seed,
             "elapsed_s": result.elapsed,
             "metrics": result.summary(),
+            "n_failed": result.n_failed,
+            "failure_classes": result.failure_classes(),
         }
+        # Only report supervision when it had to act: a clean run's JSON
+        # stays byte-identical across worker counts (inline_batches is
+        # routine bookkeeping that varies with the execution mode).
+        if result.supervision is not None:
+            stats = result.supervision.as_dict()
+            if result.n_failed or any(
+                    v for k, v in stats.items() if k != "inline_batches"):
+                payload["supervision"] = stats
         print(json.dumps(payload, indent=2, sort_keys=True))
         return
     print(f"scenario={result.spec.kind} design={design} "
           f"trials={result.spec.n_trials} seed={result.spec.seed} "
           f"workers={result.n_workers} elapsed={result.elapsed:.2f}s")
     print(result.format_table())
+    if result.failures:
+        print()
+        print(result.format_failure_table())
     flows = result.flows()
     if flows:
         print("\nper-flow totals:")
@@ -153,7 +180,9 @@ def main(argv: list[str] | None = None) -> int:
             return 0
 
         spec = _load_spec(args)
-        runner = MonteCarloRunner(n_workers=args.workers)
+        runner = MonteCarloRunner(n_workers=args.workers,
+                                  checkpoint=args.checkpoint,
+                                  resume=args.resume)
         if args.command == "run":
             _print_run(runner.run(spec), args.json)
             return 0
@@ -172,6 +201,15 @@ def main(argv: list[str] | None = None) -> int:
             metrics = (args.metrics.split(",") if args.metrics else None)
             print(sweep.format_table(metrics))
         return 0
+    except RunAbortedError as exc:
+        # The supervisor gave up under fail_fast: summarize what failed
+        # instead of dumping a traceback from inside a worker.
+        print(f"repro: run aborted: {exc}", file=sys.stderr)
+        for failure in exc.failures:
+            print(f"  trial {failure.index}: {failure.error_class} "
+                  f"({failure.stage}, {failure.attempts} attempt(s)): "
+                  f"{failure.message}", file=sys.stderr)
+        return 3
     except (ReproError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2

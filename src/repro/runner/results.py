@@ -17,6 +17,7 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.runner.resilience import SupervisorStats, TrialFailure
 from repro.testbed.metrics import FlowStats
 from repro.utils.stats import confidence_interval_mean
 
@@ -47,15 +48,26 @@ def merge_flow_stats(items: Iterable[FlowStats]) -> FlowStats:
 
 @dataclass
 class RunResult:
-    """Aggregated outcome of every trial of one scenario run."""
+    """Aggregated outcome of every trial of one scenario run.
+
+    ``failures`` holds the terminal :class:`TrialFailure` records of
+    trials the supervision layer could not complete under the spec's
+    failure policy (empty on a clean run, and always empty under
+    ``fail_fast``, which raises instead); ``supervision`` reports what
+    the supervisor had to do (pool respawns, retries, watchdog fires) to
+    produce the result.
+    """
 
     spec: Any
     trials: list[TrialResult]
     n_workers: int = 1
     elapsed: float = 0.0
+    failures: list[TrialFailure] = field(default_factory=list)
+    supervision: SupervisorStats | None = None
 
     def __post_init__(self) -> None:
         self.trials = sorted(self.trials, key=lambda t: t.index)
+        self.failures = sorted(self.failures, key=lambda f: f.index)
 
     # -- per-metric access ---------------------------------------------
     @property
@@ -91,6 +103,43 @@ class RunResult:
             out[name] = {"mean": mean, "lo": lo, "hi": hi,
                          "n": int(self.series(name).size)}
         return out
+
+    # -- failure accounting ---------------------------------------------
+    @property
+    def n_completed(self) -> int:
+        return len(self.trials)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    def failure_classes(self) -> dict[str, int]:
+        """``{error_class: count}`` over the terminal failures."""
+        counts: dict[str, int] = {}
+        for failure in self.failures:
+            counts[failure.error_class] = \
+                counts.get(failure.error_class, 0) + 1
+        return counts
+
+    def format_failure_table(self) -> str:
+        """A plain-text failure summary (what the CLI prints)."""
+        if not self.failures:
+            return "failures: none"
+        total = self.n_completed + self.n_failed
+        rows = [f"failures: {self.n_failed} of {total} trials",
+                f"{'error class':<24} {'stage':<10} {'n':>4}  example"]
+        groups: dict[tuple[str, str], list[TrialFailure]] = {}
+        for failure in self.failures:
+            groups.setdefault(
+                (failure.error_class, failure.stage), []).append(failure)
+        for (error_class, stage), members in sorted(groups.items()):
+            first = members[0]
+            example = f"#{first.index}: {first.message}"
+            if len(example) > 48:
+                example = example[:45] + "..."
+            rows.append(f"{error_class:<24} {stage:<10} "
+                        f"{len(members):>4d}  {example}")
+        return "\n".join(rows)
 
     # -- flows ----------------------------------------------------------
     @property

@@ -8,6 +8,16 @@ alone (:mod:`repro.runner.seeding`), and aggregation is ordered by trial
 index — so for a given root seed, results are **bit-identical whether the
 run uses 1 worker or 40, fork or spawn**.
 
+Execution is supervised (:mod:`repro.runner.resilience`): a trial
+exception, a hung batch, or a killed worker costs one attempt under the
+spec's ``[resilience]`` failure policy instead of aborting the run, a
+crashed pool is respawned with only its unfinished batches resubmitted,
+and completed trials can be journaled to a ``--checkpoint`` JSONL file
+for grid-point + trial granularity resume. Because a retried trial
+re-derives the same ``SeedSequence`` child, supervision never changes
+what a surviving trial computes — the chaos harness
+(:mod:`repro.runner.chaos`) proves it bit-identically.
+
 ``n_workers=1`` executes inline with zero process overhead (and is the
 reference the parallel path is tested against). The generic :meth:`map`
 drives arbitrary module-level trial functions through the same machinery,
@@ -19,13 +29,23 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CaptureTransportError, ConfigurationError, ReproError
+from repro.runner.chaos import ChaosInjector
+from repro.runner.resilience import (
+    BatchTask,
+    CheckpointJournal,
+    PoolSupervisor,
+    SupervisorStats,
+    TrialFailure,
+    raise_failure,
+)
 from repro.runner.results import RunResult, SweepResult, TrialResult
 from repro.runner.scenarios import (
     TrialContext,
@@ -54,22 +74,45 @@ def _coerce_trial(raw: Any, index: int) -> TrialResult:
         "TrialResult")
 
 
-def _scenario_batch(spec_dict: dict, indices: Sequence[int]
-                    ) -> list[TrialResult]:
+def _run_trial_guarded(fn: Callable, spec: ScenarioSpec, index: int,
+                       attempt: int, injector: ChaosInjector | None
+                       ) -> TrialResult | TrialFailure:
+    """One fault-isolated trial: a failure is a record, not a poison pill.
+
+    The context is re-derived from ``(spec.seed, index)`` alone, so a
+    retried trial (higher *attempt*) computes bit-identically to the
+    attempt a fault interrupted.
+    """
+    try:
+        if injector is not None:
+            injector.pre_trial(index, attempt)
+        return _coerce_trial(
+            fn(spec, TrialContext.for_trial(spec.seed, index)), index)
+    except Exception as exc:
+        return TrialFailure.from_exception(index, exc,
+                                           attempts=attempt + 1)
+
+
+def _scenario_batch(spec_dict: dict, indices: Sequence[int],
+                    attempt: int = 0) -> list:
     """Worker entry point: run a contiguous batch of scenario trials.
 
     Receives the spec in plain-dict form so the call is spawn-safe; the
-    per-process reference-signal cache persists across the batch.
+    per-process reference-signal cache persists across the batch. Each
+    trial is individually guarded — the returned list holds a
+    ``TrialResult`` or ``TrialFailure`` per index, in order.
     """
     spec = ScenarioSpec.from_dict(spec_dict)
     fn = get_scenario(spec.kind)
-    return [_coerce_trial(fn(spec, TrialContext.for_trial(spec.seed, i)), i)
+    injector = ChaosInjector(spec.faults)
+    return [_run_trial_guarded(fn, spec, i, attempt, injector)
             for i in indices]
 
 
-def _synth_batch_shm(spec_dict: dict, indices: Sequence[int],
+def _synth_batch_shm(spec_dict: dict, indices: Sequence[int], attempt: int,
                      arena_name: str | None, n_slots: int,
-                     slot_samples: int, captures_per_trial: int) -> list:
+                     slot_samples: int, captures_per_trial: int,
+                     checksum: bool) -> list:
     """Worker entry point: synthesize a batch of trials for batched decode.
 
     Runs the scenario's rng-bound synthesis hook per trial (same
@@ -77,10 +120,16 @@ def _synth_batch_shm(spec_dict: dict, indices: Sequence[int],
     each capture into its preassigned shared-memory slot — trial *i*'s
     capture *j* owns slot ``i * captures_per_trial + j``, so workers
     never contend and need no locking. Captures that overflow their slot
-    (or exceed the per-trial slot count) travel pickled instead.
+    (or exceed the per-trial slot count) travel pickled instead. With
+    *checksum*, each ref carries a CRC32 the parent verifies on arrival.
+
+    Per-trial synthesis is guarded like the loop path: a failed trial
+    yields a ``TrialFailure`` in its list position instead of poisoning
+    the batch.
     """
     spec = ScenarioSpec.from_dict(spec_dict)
     hooks = get_batched_scenario(spec.kind)
+    injector = ChaosInjector(spec.faults)
     arena = None
     if arena_name is not None:
         arena = SharedCaptureArena.attach(arena_name, n_slots,
@@ -88,14 +137,28 @@ def _synth_batch_shm(spec_dict: dict, indices: Sequence[int],
     try:
         out = []
         for i in indices:
-            payload = hooks.synthesize(
-                spec, TrialContext.for_trial(spec.seed, i))
-            if arena is not None:
-                payload.captures = [
-                    arena.write(i * captures_per_trial + j
-                                if j < captures_per_trial else -1, c)
-                    for j, c in enumerate(payload.captures)]
-            out.append(payload)
+            try:
+                injector.pre_trial(i, attempt)
+                payload = hooks.synthesize(
+                    spec, TrialContext.for_trial(spec.seed, i))
+                if arena is not None:
+                    corrupt = injector.corrupt_slot(i, attempt)
+                    refs = []
+                    for j, capture in enumerate(payload.captures):
+                        slot = (i * captures_per_trial + j
+                                if j < captures_per_trial else -1)
+                        ref = arena.write(slot, capture, checksum=checksum)
+                        if corrupt and ref.slot >= 0 and ref.size > 0:
+                            # Chaos: flip a sample *after* the checksum
+                            # was computed, as real corruption would.
+                            arena.grid[ref.slot, 0] += 1.0 + 1.0j
+                            corrupt = False
+                        refs.append(ref)
+                    payload.captures = refs
+                out.append(payload)
+            except Exception as exc:
+                out.append(TrialFailure.from_exception(
+                    i, exc, attempts=attempt + 1, stage="synthesis"))
         return out
     finally:
         if arena is not None:
@@ -128,11 +191,20 @@ class MonteCarloRunner:
       split across workers so each process gets one warm batch.
     - ``start_method``: ``fork``/``spawn``/``forkserver``; default picks
       ``fork`` where available. Results do not depend on the choice.
+    - ``checkpoint``: path to a JSONL journal; completed trials are
+      appended as batches land. ``resume`` re-runs only the trials the
+      journal is missing (validated against a digest of the spec).
+
+    Failure handling (policy, retries, watchdog) is configured on the
+    *spec* (``[resilience]``), not the runner, so a checked-in scenario
+    file carries its own robustness contract.
     """
 
     n_workers: int = 1
     batch_size: int | None = None
     start_method: str | None = None
+    checkpoint: str | Path | None = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers == 0:
@@ -141,10 +213,13 @@ class MonteCarloRunner:
             raise ConfigurationError("n_workers must be >= 1 (or 0 = auto)")
         if self.batch_size is not None and self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if self.resume and self.checkpoint is None:
+            raise ConfigurationError("resume=True needs a checkpoint path")
+        self._journal_obj: CheckpointJournal | None = None
 
     # ------------------------------------------------------------------
-    def run(self, spec: ScenarioSpec, *,
-            n_trials: int | None = None) -> RunResult:
+    def run(self, spec: ScenarioSpec, *, n_trials: int | None = None,
+            _point: str = "") -> RunResult:
         """Run every trial of *spec* and aggregate (see RunResult)."""
         if n_trials is not None:
             spec = replace(spec, n_trials=n_trials)
@@ -161,26 +236,55 @@ class MonteCarloRunner:
                 "the pipelines (impairment-aware scenarios: pair, "
                 "capture, testbed_pair, hidden_pair_*, ap_stream, "
                 "offered_load)")
+        journal = self._ensure_journal(spec)
         indices = list(range(spec.n_trials))
+        completed: dict[int, TrialResult] = {}
+        if journal is not None and self.resume:
+            completed = {i: t for i, t in journal.completed(_point).items()
+                         if i < spec.n_trials}
+            indices = [i for i in indices if i not in completed]
+        record = None
+        if journal is not None:
+            record = lambda index, trial: journal.record(_point, trial)  # noqa: E731
         started = time.perf_counter()
         if spec.batch_size > 1:
-            trials = self._run_batched(spec, indices)
-        elif self.n_workers == 1 or len(indices) <= 1:
-            trials = _scenario_batch(spec.to_dict(), indices)
+            trials, failures, stats = self._run_batched(spec, indices,
+                                                        record)
         else:
-            spec_dict = spec.to_dict()
-            trials = []
-            with self._pool() as pool:
-                futures = [pool.submit(_scenario_batch, spec_dict, batch)
-                           for batch in self._batches(indices)]
-                for future in futures:
-                    trials.extend(future.result())
-        return RunResult(spec=spec, trials=trials,
+            trials, failures, stats = self._run_loop(spec, indices, record)
+        return RunResult(spec=spec,
+                         trials=list(completed.values()) + trials,
                          n_workers=self.n_workers,
-                         elapsed=time.perf_counter() - started)
+                         elapsed=time.perf_counter() - started,
+                         failures=failures, supervision=stats)
 
-    def _run_batched(self, spec: ScenarioSpec,
-                     indices: list[int]) -> list[TrialResult]:
+    # -- loop-path execution -------------------------------------------
+    def _run_loop(self, spec: ScenarioSpec, indices: list[int],
+                  record: Callable[[int, TrialResult], None] | None
+                  ) -> tuple[list[TrialResult], list[TrialFailure],
+                             SupervisorStats | None]:
+        if not indices:
+            return [], [], None
+        spec_dict = spec.to_dict()
+        use_pool = self.n_workers > 1 and len(indices) > 1
+        task = BatchTask(
+            submit=lambda pool, idx, attempt: pool.submit(
+                _scenario_batch, spec_dict, idx, attempt),
+            run_inline=lambda idx, attempt: _scenario_batch(
+                spec_dict, idx, attempt))
+        supervisor = PoolSupervisor(self._pool if use_pool else None,
+                                    spec.resilience,
+                                    window=self.n_workers,
+                                    on_success=record)
+        results, failures = supervisor.execute(task, self._batches(indices))
+        return ([results[i] for i in sorted(results)], failures,
+                supervisor.stats)
+
+    # -- batched execution ---------------------------------------------
+    def _run_batched(self, spec: ScenarioSpec, indices: list[int],
+                     record: Callable[[int, TrialResult], None] | None
+                     ) -> tuple[list[TrialResult], list[TrialFailure],
+                                SupervisorStats | None]:
         """Batched execution: pooled synthesis, trial-axis decode.
 
         Workers run only the rng-bound synthesis (with per-trial seed
@@ -191,61 +295,115 @@ class MonteCarloRunner:
         bit-identical to the loop path for any batch size or worker
         count — the batched engine's equivalence contract plus unchanged
         seeding make the mode a pure throughput knob.
+
+        Degraded-mode ladder: a corrupted shared-memory capture is
+        re-synthesized inline from its own seed; a batched-decode
+        exception drops the affected group to the per-trial loop path
+        (bit-identical by the equivalence contract); only a trial that
+        fails there too becomes a :class:`TrialFailure`. The arena is
+        unlinked on *every* exit path — ``finally`` here plus the
+        module-level ``atexit`` guard in :mod:`repro.runner.shm`.
         """
+        if not indices:
+            return [], [], None
         hooks = get_batched_scenario(spec.kind)
         per_trial = hooks.captures_per_trial
+        policy = spec.resilience
+        checksum = policy.should_verify_shm(not spec.faults.is_empty)
         use_pool = self.n_workers > 1 and len(indices) > 1
-        payloads: list = [None] * len(indices)
+        spec_dict = spec.to_dict()
         arena = None
+        trials: list[TrialResult] = []
+        failures: dict[int, TrialFailure] = {}
         try:
-            if not use_pool:
-                for i in indices:
-                    payloads[i] = hooks.synthesize(
-                        spec, TrialContext.for_trial(spec.seed, i))
-            else:
+            if use_pool:
                 arena = SharedCaptureArena.create(
-                    len(indices) * per_trial,
+                    (max(indices) + 1) * per_trial,
                     hooks.capture_samples_bound(spec))
-                spec_dict = spec.to_dict()
-                with self._pool() as pool:
-                    futures = [
-                        pool.submit(_synth_batch_shm, spec_dict, batch,
-                                    arena.name, arena.n_slots,
-                                    arena.slot_samples, per_trial)
-                        for batch in self._batches(indices)]
-                    for future in futures:
-                        for payload in future.result():
-                            payloads[payload.index] = payload
-                for payload in payloads:
+            arena_name = arena.name if arena is not None else None
+            n_slots = arena.n_slots if arena is not None else 0
+            slot_samples = arena.slot_samples if arena is not None else 0
+            task = BatchTask(
+                submit=lambda pool, idx, attempt: pool.submit(
+                    _synth_batch_shm, spec_dict, idx, attempt, arena_name,
+                    n_slots, slot_samples, per_trial, checksum),
+                run_inline=lambda idx, attempt: _synth_batch_shm(
+                    spec_dict, idx, attempt, None, 0, 0, per_trial,
+                    False))
+            supervisor = PoolSupervisor(self._pool if use_pool else None,
+                                        policy, window=self.n_workers)
+            payloads, synth_failures = supervisor.execute(
+                task, self._batches(indices))
+            for failure in synth_failures:
+                failures[failure.index] = failure
+            for index in sorted(payloads):
+                payload = payloads[index]
+                try:
                     payload.captures = [
                         ref.resolve(arena) if isinstance(ref, CaptureRef)
                         else np.asarray(ref, dtype=complex).ravel()
                         for ref in payload.captures]
-            trials = []
-            for lo in range(0, len(payloads), spec.batch_size):
-                group = payloads[lo:lo + spec.batch_size]
-                results = hooks.decode(spec, group)
-                trials.extend(
-                    _coerce_trial(result, payload.index)
-                    for result, payload in zip(results, group))
-            return trials
+                except CaptureTransportError:
+                    # Corrupted slot: re-derive the trial's samples from
+                    # its own SeedSequence child — bit-identical.
+                    supervisor.stats.transport_retries += 1
+                    payloads[index] = hooks.synthesize(
+                        spec, TrialContext.for_trial(spec.seed, index))
+            order = sorted(payloads)
+            loop_fn = None
+            for lo in range(0, len(order), spec.batch_size):
+                group_indices = order[lo:lo + spec.batch_size]
+                group = [payloads[i] for i in group_indices]
+                try:
+                    decoded = hooks.decode(spec, group)
+                    batch_trials = [
+                        _coerce_trial(result, payload.index)
+                        for result, payload in zip(decoded, group)]
+                except Exception:
+                    supervisor.stats.inline_fallbacks += 1
+                    if loop_fn is None:
+                        loop_fn = get_scenario(spec.kind)
+                    batch_trials = []
+                    for index in group_indices:
+                        outcome = _run_trial_guarded(loop_fn, spec, index,
+                                                     0, None)
+                        if isinstance(outcome, TrialFailure):
+                            if policy.mode == "fail_fast":
+                                raise_failure(
+                                    outcome, tuple(failures.values()))
+                            failures[index] = outcome
+                        else:
+                            batch_trials.append(outcome)
+                for trial in batch_trials:
+                    trials.append(trial)
+                    if record is not None:
+                        record(trial.index, trial)
+            return (trials, [failures[i] for i in sorted(failures)],
+                    supervisor.stats)
         finally:
             if arena is not None:
                 arena.close()
 
+    # ------------------------------------------------------------------
     def sweep(self, spec: ScenarioSpec, param: str,
               values: Sequence[Any]) -> SweepResult:
         """Run *spec* once per value of the dotted-path *param*.
 
         Every grid point reuses the same root seed (common random
         numbers), so along-the-sweep differences are the parameter's
-        effect, not resampling noise.
+        effect, not resampling noise. With a checkpoint, each grid point
+        journals under its own key — a resumed sweep skips completed
+        points entirely and picks up a half-finished point at the first
+        missing trial.
         """
         if not values:
             raise ConfigurationError("sweep needs at least one value")
-        return SweepResult(param=param, points=[
-            (value, self.run(spec.with_override(param, value)))
-            for value in values])
+        points = []
+        for value in values:
+            point_spec = spec.with_override(param, value)
+            points.append((value, self.run(point_spec,
+                                           _point=f"{param}={value!r}")))
+        return SweepResult(param=param, points=points)
 
     def map(self, fn: Callable, n_trials: int | None = None, *,
             seed: int = 0, values: Sequence[Any] | None = None) -> list:
@@ -255,6 +413,10 @@ class MonteCarloRunner:
         *values*, calls ``fn(ctx, value)`` once per value (a deterministic
         grid). *fn* must be module-level (picklable) to use more than one
         worker. Returns results in index order.
+
+        A failed batch cancels every batch still queued and raises a
+        :class:`ReproError` naming the batch (and first item index) that
+        failed, chained to the original exception.
         """
         if values is None:
             if n_trials is None or n_trials < 1:
@@ -268,15 +430,37 @@ class MonteCarloRunner:
             pairs = _map_batch(fn, seed, items, with_values)
         else:
             pairs = []
+            batches = self._batches(items)
             with self._pool() as pool:
-                futures = [
-                    pool.submit(_map_batch, fn, seed, batch, with_values)
-                    for batch in self._batches(items)]
-                for future in futures:
-                    pairs.extend(future.result())
+                futures = {
+                    pool.submit(_map_batch, fn, seed, batch, with_values):
+                    number for number, batch in enumerate(batches)}
+                current = None
+                try:
+                    for future in as_completed(futures):
+                        current = future
+                        pairs.extend(future.result())
+                except Exception as exc:
+                    for other in futures:
+                        other.cancel()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    number = futures.get(current, -1)
+                    first = batches[number][0][0] if number >= 0 else "?"
+                    raise ReproError(
+                        f"map batch {number} (first item index {first}) "
+                        f"failed: {exc}") from exc
         return [result for _, result in sorted(pairs, key=lambda p: p[0])]
 
     # ------------------------------------------------------------------
+    def _ensure_journal(self, spec: ScenarioSpec
+                        ) -> CheckpointJournal | None:
+        if self.checkpoint is None:
+            return None
+        if self._journal_obj is None:
+            self._journal_obj = CheckpointJournal.open(
+                self.checkpoint, spec, resume=self.resume)
+        return self._journal_obj
+
     def _batches(self, items: list) -> list[list]:
         size = self.batch_size
         if size is None:

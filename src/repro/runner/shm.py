@@ -17,20 +17,54 @@ resource tracker at worker exit — parent ownership sidesteps that whole
 class of lifetime bugs. A capture that outgrows its slot (or arrives after
 the arena filled) falls back to pickling, flagged with ``slot == -1``, so
 the arena is purely an optimization and never a correctness constraint.
+
+Three resilience guarantees ride on top (see ``docs/resilience.md``):
+
+- **Recognizable names + leak detection.** Arenas are created under a
+  ``repro-arena-*`` name so :func:`find_leaked_arenas` can audit
+  ``/dev/shm`` after a crashed run, and tests can assert zero leaks.
+- **Guaranteed unlink.** Every live parent-owned arena is registered in
+  a module table; :meth:`SharedCaptureArena.close` on all error paths
+  plus an ``atexit`` guard (:func:`cleanup_arenas`) unlink leftovers
+  even when the run aborts mid-decode.
+- **Optional checksums.** :meth:`SharedCaptureArena.write` can stamp a
+  CRC32 into the :class:`CaptureRef`; :meth:`CaptureRef.resolve`
+  verifies it, so a corrupted slot (worker crash mid-write, or the chaos
+  harness's ``corrupt_shm_slot_prob``) surfaces as a
+  :class:`~repro.errors.CaptureTransportError` instead of silently
+  feeding garbage samples to the decoder.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import secrets
+import zlib
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import CaptureTransportError, ConfigurationError
 
-__all__ = ["CaptureRef", "SharedCaptureArena"]
+__all__ = ["CaptureRef", "SharedCaptureArena", "cleanup_arenas",
+           "find_leaked_arenas"]
 
 _ITEMSIZE = np.dtype(complex).itemsize
+
+# Arena segments carry this prefix so a leak audit can tell the runner's
+# segments apart from anything else living in /dev/shm.
+ARENA_PREFIX = "repro-arena"
+
+# Parent-owned arenas still open in this process, by name. close()
+# removes entries; the atexit guard unlinks whatever remains.
+_LIVE_ARENAS: dict[str, "SharedCaptureArena"] = {}
+
+
+def _checksum(view: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(view).tobytes())
 
 
 @dataclass(frozen=True)
@@ -39,11 +73,14 @@ class CaptureRef:
 
     ``slot >= 0`` means rows ``arena.view(slot, size)``; ``slot == -1``
     means the samples travelled pickled in ``inline`` (overflow path).
+    ``checksum``, when set, is the CRC32 of the payload bytes at write
+    time; :meth:`resolve` verifies it on arrival.
     """
 
     slot: int
     size: int
     inline: np.ndarray | None = None
+    checksum: int | None = None
 
     def resolve(self, arena: "SharedCaptureArena | None") -> np.ndarray:
         if self.slot < 0:
@@ -53,7 +90,12 @@ class CaptureRef:
         if arena is None:
             raise ConfigurationError(
                 "arena-backed capture ref but no arena attached")
-        return arena.view(self.slot, self.size)
+        view = arena.view(self.slot, self.size)
+        if self.checksum is not None and _checksum(view) != self.checksum:
+            raise CaptureTransportError(
+                f"arena slot {self.slot} failed checksum verification "
+                f"({self.size} samples); capture corrupted in transport")
+        return view
 
 
 class SharedCaptureArena:
@@ -73,6 +115,8 @@ class SharedCaptureArena:
         self._owner = owner
         self.grid = np.ndarray((n_slots, slot_samples), dtype=complex,
                                buffer=shm.buf)
+        if owner:
+            _LIVE_ARENAS[shm.name] = self
 
     # -- lifecycle ------------------------------------------------------
     @classmethod
@@ -80,8 +124,10 @@ class SharedCaptureArena:
                slot_samples: int) -> "SharedCaptureArena":
         if n_slots < 1 or slot_samples < 1:
             raise ConfigurationError("arena needs positive dimensions")
+        name = f"{ARENA_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
         shm = shared_memory.SharedMemory(
-            create=True, size=n_slots * slot_samples * _ITEMSIZE)
+            create=True, name=name,
+            size=n_slots * slot_samples * _ITEMSIZE)
         return cls(shm, n_slots, slot_samples, owner=True)
 
     @classmethod
@@ -99,6 +145,7 @@ class SharedCaptureArena:
         # Views into the buffer must be dropped before close(); the
         # runner copies anything it keeps past decode.
         self.grid = None
+        _LIVE_ARENAS.pop(self._shm.name, None)
         self._shm.close()
         if self._owner:
             try:
@@ -107,11 +154,14 @@ class SharedCaptureArena:
                 pass
 
     # -- access ---------------------------------------------------------
-    def write(self, slot: int, samples: np.ndarray) -> CaptureRef:
+    def write(self, slot: int, samples: np.ndarray, *,
+              checksum: bool = False) -> CaptureRef:
         """Store *samples* into *slot*, or fall back to an inline ref.
 
         Zero-fills the slot's tail so stale bytes from arena reuse can
-        never alias into a later, shorter capture.
+        never alias into a later, shorter capture. With ``checksum`` the
+        returned ref carries a CRC32 of the payload for end-to-end
+        transport verification.
         """
         arr = np.asarray(samples, dtype=complex).ravel()
         if not 0 <= slot < self.n_slots or arr.size > self.slot_samples:
@@ -119,7 +169,8 @@ class SharedCaptureArena:
         row = self.grid[slot]
         row[:arr.size] = arr
         row[arr.size:] = 0
-        return CaptureRef(slot=slot, size=arr.size)
+        crc = _checksum(arr) if checksum else None
+        return CaptureRef(slot=slot, size=arr.size, checksum=crc)
 
     def view(self, slot: int, size: int) -> np.ndarray:
         """Zero-copy view of the first *size* samples of *slot*."""
@@ -129,3 +180,42 @@ class SharedCaptureArena:
             raise ConfigurationError(
                 f"size {size} exceeds slot capacity {self.slot_samples}")
         return self.grid[slot, :size]
+
+
+# ----------------------------------------------------------------------
+# Leak detection and last-ditch cleanup
+# ----------------------------------------------------------------------
+def cleanup_arenas() -> list[str]:
+    """Unlink every parent-owned arena still open in this process.
+
+    Runs automatically at interpreter exit; callable directly from error
+    paths and tests. Returns the names it cleaned up.
+    """
+    cleaned = []
+    for name in list(_LIVE_ARENAS):
+        arena = _LIVE_ARENAS.get(name)
+        if arena is None:
+            continue
+        try:
+            arena.close()
+        except Exception:
+            _LIVE_ARENAS.pop(name, None)
+        cleaned.append(name)
+    return cleaned
+
+
+def find_leaked_arenas() -> list[str]:
+    """Arena-named shared-memory segments present on this host.
+
+    Scans ``/dev/shm`` (Linux; other platforms report nothing) for
+    segments carrying :data:`ARENA_PREFIX`. After any run — crashed,
+    chaos-injected, or clean — this must be empty; the resilience test
+    suite and ``benchmarks/bench_chaos_soak.py`` assert exactly that.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.glob(f"{ARENA_PREFIX}-*"))
+
+
+atexit.register(cleanup_arenas)

@@ -52,6 +52,8 @@ from typing import Any
 from repro.errors import ConfigurationError
 from repro.mac.backoff import BackoffPicker, ExponentialBackoff, FixedWindowBackoff
 from repro.phy.impairments import ImpairmentPipeline, make_impairment
+from repro.runner.chaos import FaultSpec
+from repro.runner.resilience import FailurePolicy
 
 __all__ = [
     "BackoffSpec",
@@ -203,6 +205,11 @@ class ScenarioSpec:
     # 1 = the per-trial loop path; > 1 groups that many trials per
     # trial-axis decode pass. Per-trial seed streams are unaffected.
     batch_size: int = 1
+    # Failure policy ([resilience]) and chaos injection ([faults]); see
+    # docs/resilience.md. Defaults are fail_fast with no faults — the
+    # pre-supervision behavior.
+    resilience: FailurePolicy = field(default_factory=FailurePolicy)
+    faults: FaultSpec = field(default_factory=FaultSpec)
     params: tuple[tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
@@ -251,13 +258,20 @@ class ScenarioSpec:
                 f"unknown [impairments] hooks: {sorted(unknown_hooks)}; "
                 "use [[impairments.sender]] / [[impairments.capture]]")
         impairments = ImpairmentsSpec(**impairments_table)
+        try:
+            resilience = FailurePolicy(**data.pop("resilience", {}))
+            faults = FaultSpec(**data.pop("faults", {}))
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad [resilience]/[faults] table: {exc}") from exc
         params = tuple(sorted(dict(data.pop("params", {})).items()))
         if data:
             raise ConfigurationError(
                 f"unknown scenario tables: {sorted(data)}")
         try:
             return cls(senders=senders, channel=channel, backoff=backoff,
-                       impairments=impairments, params=params, **scalar)
+                       impairments=impairments, resilience=resilience,
+                       faults=faults, params=params, **scalar)
         except TypeError as exc:
             raise ConfigurationError(f"bad [scenario] table: {exc}") from exc
 
@@ -289,6 +303,10 @@ class ScenarioSpec:
         out["backoff"] = dataclasses.asdict(self.backoff)
         if not self.impairments.is_empty:
             out["impairments"] = self.impairments.to_dict()
+        if self.resilience != FailurePolicy():
+            out["resilience"] = dataclasses.asdict(self.resilience)
+        if not self.faults.is_empty or self.faults != FaultSpec():
+            out["faults"] = dataclasses.asdict(self.faults)
         if self.params:
             out["params"] = dict(self.params)
         return out
@@ -315,6 +333,12 @@ class ScenarioSpec:
         if head == "backoff" and rest:
             return replace(self, backoff=replace(self.backoff,
                                                  **{rest: value}))
+        if head == "resilience" and rest:
+            return replace(self, resilience=replace(self.resilience,
+                                                    **{rest: value}))
+        if head == "faults" and rest:
+            return replace(self, faults=replace(self.faults,
+                                                **{rest: value}))
         if head == "sender" and rest:
             name, _, attr = rest.partition(".")
             if not attr:
