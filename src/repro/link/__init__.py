@@ -10,6 +10,7 @@ The online system of §4.2.2/§4.4: a bounded-memory sample stream
 
 from repro.link.air import AirConfig, ContinuousAir
 from repro.link.aps import StandardAp, ZigZagAp, build_ap
+from repro.link.events import EventEngine, EventQueue, RadioState
 from repro.link.segmenter import Burst, BurstSegmenter, SegmenterConfig
 from repro.link.session import (
     LinkSession,
@@ -23,7 +24,10 @@ __all__ = [
     "Burst",
     "BurstSegmenter",
     "ContinuousAir",
+    "EventEngine",
+    "EventQueue",
     "LinkSession",
+    "RadioState",
     "SegmenterConfig",
     "SessionConfig",
     "SessionReport",

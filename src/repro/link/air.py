@@ -63,6 +63,7 @@ class ContinuousAir:
         self._active: list[tuple[int, np.ndarray]] = []  # (start, waveform)
         self._cursor = 0            # absolute index of the next new sample
         self.samples_emitted = 0
+        self.samples_skipped = 0
         self.max_resident_samples = 0
 
     # ------------------------------------------------------------------
@@ -100,6 +101,26 @@ class ContinuousAir:
         self.max_resident_samples = max(self.max_resident_samples,
                                         self.resident_samples)
         return waveform.size
+
+    def skip(self, n_samples: int) -> None:
+        """Advance the cursor past *n_samples* of idle air in O(1).
+
+        The span must be silent — no scheduled waveform may overlap it.
+        No noise is synthesized and no RNG state is consumed, which is
+        what lets the event-driven session core make wall time scale
+        with *burst* samples instead of *simulated* samples. The skipped
+        span is gone for good: it can never be emitted afterwards.
+        """
+        if n_samples < 0:
+            raise ConfigurationError("skip needs a non-negative count")
+        t1 = self._cursor + n_samples
+        for start, wave in self._active:
+            if start < t1 and self._cursor < start + wave.size:
+                raise ConfigurationError(
+                    f"cannot skip [{self._cursor}, {t1}): a scheduled "
+                    f"waveform at {start} overlaps it")
+        self._cursor = t1
+        self.samples_skipped += n_samples
 
     def emit(self, n_samples: int | None = None) -> np.ndarray:
         """The next *n_samples* (default one chunk) of received signal."""

@@ -132,7 +132,10 @@ class BurstSegmenter:
                 # open-window after the packet edge, so pull window + pad
                 # samples of history (never into the previous burst).
                 back = cfg.open_window + cfg.pad
-                start_abs = max(self._pos + j - back, self._prev_end)
+                # Never reach past retained history (after a skip() the
+                # stream before ``_pos - carry`` was never materialized).
+                start_abs = max(self._pos + j - back, self._prev_end,
+                                self._pos - carry)
                 lead_lo = carry + j - (self._pos + j - start_abs)
                 self._open = [joined[lead_lo:carry + j + 1].copy()]
                 self._open_len = self._open[0].size
@@ -145,24 +148,51 @@ class BurstSegmenter:
                 lo = max(i, guard, 0)
                 hits = np.flatnonzero(close_cond[lo:]) \
                     if lo < chunk.size else np.zeros(0, int)
+                # The open burst never exceeds max_burst_samples: appends
+                # are capped at the remaining room and the leftover chunk
+                # samples are re-fed as a fresh burst-open scan.
+                room = cfg.max_burst_samples - self._open_len
                 if hits.size == 0:
-                    self._open.append(chunk[i:].copy())
-                    self._open_len += chunk.size - i
-                    i = chunk.size
+                    take = min(chunk.size - i, room)
+                    self._open.append(chunk[i:i + take].copy())
+                    self._open_len += take
+                    i += take
                     if self._open_len >= cfg.max_burst_samples:
                         out.append(self._close(truncated=True))
+                elif lo + int(hits[0]) + 1 - i > room:
+                    # Cap reached before the close point.
+                    self._open.append(chunk[i:i + room].copy())
+                    self._open_len += room
+                    i += room
+                    out.append(self._close(truncated=True))
                 else:
                     j = lo + int(hits[0])
                     self._open.append(chunk[i:j + 1].copy())
                     self._open_len += j + 1 - i
-                    truncated = self._open_len >= cfg.max_burst_samples
-                    out.append(self._close(truncated=truncated))
+                    out.append(self._close(truncated=False))
                     i = j + 1
         self._pos += chunk.size
         self._history = joined[-self._history_len:].copy()
         self.max_resident_samples = max(self.max_resident_samples,
                                         self.resident_samples)
         return out
+
+    def skip(self, n_samples: int) -> None:
+        """Advance past *n_samples* of known-idle air without scanning.
+
+        The event-driven session core uses this to jump over stretches
+        of the stream that hold nothing but noise: the position advances
+        in O(1) and the moving-average history resets to empty (the next
+        pushed chunk warms it up from its own samples). Skipping is only
+        legal while no burst is open.
+        """
+        if n_samples < 0:
+            raise ConfigurationError("skip needs a non-negative count")
+        if self._open is not None:
+            raise ConfigurationError(
+                "cannot skip stream samples while a burst is open")
+        self._pos += n_samples
+        self._history = np.zeros(0, dtype=complex)
 
     def flush(self) -> list[Burst]:
         """Close any still-open burst at end of stream."""

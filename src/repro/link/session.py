@@ -19,6 +19,14 @@ Everything is sample-clocked: MAC slots, SIFS/ACK durations
 and ACK timeouts. Memory stays bounded for arbitrarily long sessions —
 the air holds only in-flight waveforms, the segmenter only the open
 burst, and the collision buffer ages out stale records.
+
+Two interchangeable cores drive the loop (``SessionConfig.engine``):
+the event-driven scheduler of :mod:`repro.link.events` (the default —
+symbolic MAC time, DSP only over actual burst extents, wall time scales
+with *busy* air) and the original slot-clocked ``while`` loop (every
+slot boundary visited explicitly — the reference semantics the event
+core is pinned against). Both share every piece of domain logic below;
+only the advancement of time differs.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from repro.core.api import ReceiverConfig, ReceiverStats
 from repro.errors import ConfigurationError
 from repro.link.air import AirConfig, ContinuousAir
 from repro.link.aps import build_ap
+from repro.link.events import EventEngine, RadioState
 from repro.link.segmenter import BurstSegmenter, SegmenterConfig
 from repro.mac.ack import plan_synchronous_acks
 from repro.mac.backoff import BackoffPicker, FixedWindowBackoff
@@ -48,8 +57,13 @@ from repro.utils.bits import random_bits
 
 __all__ = ["StreamClient", "SessionConfig", "SessionReport", "LinkSession"]
 
-# Client MAC states.
-_WAIT, _CONTEND, _TX, _AWAIT_ACK, _DONE = range(5)
+# Client MAC states: the RadioState machine, under the session's
+# historical private names (numeric order is preserved).
+_WAIT = RadioState.IDLE
+_CONTEND = RadioState.CONTEND
+_TX = RadioState.TX
+_AWAIT_ACK = RadioState.AWAIT_ACK
+_DONE = RadioState.DONE
 
 
 def _max_clique_size(names, edges: set[frozenset[str]]) -> int:
@@ -138,10 +152,16 @@ class SessionConfig:
     capture_impairments: ImpairmentPipeline | None = None
     ack_timeout_samples: int | None = None     # None: derived (see below)
     max_samples: int | None = None             # safety cap; None: derived
+    # Which core drives the loop: "event" (heap-ordered scheduler, idle
+    # air skipped symbolically) or "slot" (the reference per-slot walk).
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.n_packets < 1 or self.max_attempts < 1:
             raise ConfigurationError("counts must be positive")
+        if self.engine not in ("event", "slot"):
+            raise ConfigurationError(
+                f"engine must be 'event' or 'slot', got {self.engine!r}")
         if self.slot_samples < 1 or self.chunk_samples < 1:
             raise ConfigurationError("sample counts must be positive")
         if self.max_collision_packets is not None \
@@ -205,9 +225,11 @@ class SessionReport:
 class _ClientState:
     """Mutable MAC state of one client inside a running session."""
 
-    def __init__(self, client: StreamClient, session: "LinkSession") -> None:
+    def __init__(self, client: StreamClient, session: "LinkSession",
+                 index: int = 0) -> None:
         self.client = client
         self.session = session
+        self.index = index          # position in the session's client list
         self.state = _WAIT
         self.packets_done = 0
         self.seq = -1
@@ -218,6 +240,12 @@ class _ClientState:
         self.tx_end = 0
         self.ack_deadline = 0
         self.next_arrival = 0
+        # Event-engine bookkeeping (unused by the slot-clocked core):
+        # generation counter invalidating stale heap events, and the
+        # anchor/expiry of the currently-scheduled backoff countdown.
+        self.gen = 0
+        self.contend_anchor = 0
+        self.pending_tx_time = 0
 
     # ------------------------------------------------------------------
     @property
@@ -403,7 +431,8 @@ class LinkSession:
                 client.freq_offset
                 + float(self.rng.normal(0, config.coarse_freq_error)))
 
-        self.clients = [_ClientState(c, self) for c in clients]
+        self.clients = [_ClientState(c, self, i)
+                        for i, c in enumerate(clients)]
         self._by_src = {c.client.src: c for c in self.clients}
 
         # Pairwise sensing, fixed for the whole session: hidden pairs
@@ -442,18 +471,32 @@ class LinkSession:
         self.tx_log: dict[tuple[int, int], tuple[int, int]] = {}
         self._ack_queue: list[tuple[int, int, int]] = []  # (time, src, seq)
         self.counters: dict[str, float] = {
-            "transmissions": 0, "bursts": 0, "acks": 0,
+            "transmissions": 0, "bursts": 0, "acks": 0, "acks_dropped": 0,
             "acks_infeasible": 0, "duplicate_decodes": 0,
             "ack_timeouts": 0, "packets_dropped": 0, "packets_lost": 0,
-            "unresolved_at_cap": 0,
+            "unresolved_at_cap": 0, "packets_unoffered_at_cap": 0,
         }
+        # Slot-consistent carrier-sense snapshot (list indices of clients
+        # transmitting at the current boundary), refreshed once per slot
+        # before any client steps.
+        self._tx_snapshot: set[int] = set()
 
     # ------------------------------------------------------------------
+    def _refresh_tx_snapshot(self, now: int) -> None:
+        """Fix the set of in-flight transmissions for this boundary.
+
+        A transmission occupies ``[start, tx_end)``: a client still in
+        ``_TX`` whose ``tx_end <= now`` has already left the air at this
+        boundary (it just has not stepped yet), so it is excluded. All
+        clients then sense against this one snapshot, making the outcome
+        independent of the order in which they step within the slot.
+        """
+        self._tx_snapshot = {c.index for c in self.clients
+                             if c.state == _TX and c.tx_end > now}
+
     def medium_busy_for(self, state: _ClientState) -> bool:
-        i = self._index[state.client.src]
-        return any(other.state == _TX and self._sense[i, self._index[
-            other.client.src]]
-            for other in self.clients if other is not state)
+        i = state.index
+        return any(self._sense[i, j] for j in self._tx_snapshot if j != i)
 
     # ------------------------------------------------------------------
     def _process_burst(self, burst, now: int) -> None:
@@ -469,7 +512,11 @@ class LinkSession:
             if truth is None:
                 continue
             ber = result.ber_against(truth)
-            if key in self.decode_ber and key in self.acked:
+            if key in self.decode_ber:
+                # The AP already holds this packet from an earlier burst
+                # — the §4.4 infeasible-ACK path: the sender missed its
+                # ACK and retransmitted, and the AP recognizes the
+                # duplicate (and will ACK it below).
                 self.counters["duplicate_decodes"] += 1
             self.decode_ber[key] = min(self.decode_ber.get(key, 1.0), ber)
 
@@ -530,27 +577,39 @@ class LinkSession:
                 self.acked.add((src, seq))
 
     # ------------------------------------------------------------------
-    def run(self) -> SessionReport:
+    def _max_samples(self) -> int:
+        """The runaway cap: explicit, or derived from worst-case MAC
+        arithmetic (every packet retried to the limit, each attempt
+        paying full airtime, timeout and contention)."""
         cfg = self.config
+        if cfg.max_samples is not None:
+            return cfg.max_samples
+        per_attempt = (self.packet_samples + self.ack_timeout
+                       + cfg.backoff.window(0) * cfg.slot_samples)
+        total_attempts = (len(self.clients) * cfg.n_packets
+                          * cfg.max_attempts)
+        return 2 * total_attempts * per_attempt + 8 * cfg.chunk_samples
+
+    def run(self) -> SessionReport:
         started = time.perf_counter()
+        if self.config.engine == "event":
+            return EventEngine(self).run(started)
+        return self._run_slot(started)
+
+    def _run_slot(self, started: float) -> SessionReport:
+        """The reference core: visit every slot boundary explicitly."""
+        cfg = self.config
         slot = cfg.slot_samples
         now = 0
         next_chunk_end = cfg.chunk_samples
-        if cfg.max_samples is not None:
-            max_samples = cfg.max_samples
-        else:
-            per_attempt = (self.packet_samples + self.ack_timeout
-                           + cfg.backoff.window(0) * slot)
-            total_attempts = (len(self.clients) * cfg.n_packets
-                              * cfg.max_attempts)
-            max_samples = 2 * total_attempts * per_attempt \
-                + 8 * cfg.chunk_samples
+        max_samples = self._max_samples()
         timed_out = False
         while any(c.state != _DONE for c in self.clients):
             if now >= max_samples:
                 timed_out = True
                 break
             self._deliver_acks(now)
+            self._refresh_tx_snapshot(now)
             for client in self.clients:
                 client.step(now)
             now += slot
@@ -559,13 +618,48 @@ class LinkSession:
                 for burst in self.segmenter.push(chunk):
                     self._process_burst(burst, now)
                 next_chunk_end += cfg.chunk_samples
-        if timed_out:
-            for client in self.clients:
-                if client.state not in (_DONE, _WAIT):
-                    self.counters["unresolved_at_cap"] += 1
-                    client._resolve(now)
+        return self._finalize(now, timed_out, started)
+
+    def _finalize(self, now: int, timed_out: bool,
+                  started: float) -> SessionReport:
+        """Shared end-of-session accounting for both cores.
+
+        Order matters: flush the segmenter first (a still-open burst may
+        decode and plan ACKs), then deliver-or-drop everything queued,
+        then let in-flight clients act on late ACKs — and only then
+        charge whatever is still unresolved to the cap.
+        """
         for burst in self.segmenter.flush():
             self._process_burst(burst, now)
+        # Late ACKs (including ones the flush just planned) are delivered
+        # out of band; entries for already-resolved keys are explicitly
+        # dropped rather than left queued.
+        while self._ack_queue:
+            _, src, seq = heapq.heappop(self._ack_queue)
+            if (src, seq) in self.truth:
+                self.acked.add((src, seq))
+            else:
+                self.counters["acks_dropped"] += 1
+        for client in self.clients:
+            if client.state in (_CONTEND, _TX, _AWAIT_ACK) \
+                    and client.key in self.acked:
+                client._resolve(now)
+        if timed_out:
+            for client in self.clients:
+                if client.state == _DONE:
+                    continue
+                # Every client cut off by the cap is accounted for —
+                # including ones idling in _WAIT between arrivals, whose
+                # remaining traffic would otherwise silently vanish from
+                # the offered-load bookkeeping.
+                self.counters["unresolved_at_cap"] += 1
+                pending = self.config.n_packets - client.packets_done
+                if client.frame is not None:
+                    client._resolve(now)
+                    pending -= 1
+                self.counters["packets_unoffered_at_cap"] += max(pending, 0)
+                client.packets_done = self.config.n_packets
+                client.state = _DONE
 
         stats = self.ap.stats
         counters = dict(self.counters)
@@ -573,6 +667,7 @@ class LinkSession:
             self.air.max_resident_samples
             + self.segmenter.max_resident_samples)
         counters["samples_emitted"] = float(self.air.samples_emitted)
+        counters["samples_skipped"] = float(self.air.samples_skipped)
         counters["forced_closes"] = float(self.segmenter.forced_closes)
         return SessionReport(
             design=self.design,

@@ -151,7 +151,9 @@ def build_stream_session(spec, rng: np.random.Generator, design: str,
     perfectly), ``hidden_cliques`` (e.g. ``"A:B:C"``: groups of
     mutually-hidden clients, enabling the AP's k-way collision
     resolution), ``max_collision_packets`` (override the derived k),
-    ``offered_load`` (via *default_load*).
+    ``offered_load`` (via *default_load*), ``engine`` (``"event"``, the
+    default heap-scheduled core, or ``"slot"``, the reference per-slot
+    walk — see :mod:`repro.link.events`).
     """
     spread = spec.channel.freq_spread
     if spec.senders:
@@ -200,6 +202,7 @@ def build_stream_session(spec, rng: np.random.Generator, design: str,
         preamble_length=spec.preamble_length,
         chunk_samples=int(spec.param("chunk_samples", 1024)),
         buffer_max_age=int(spec.param("buffer_max_age", 24)),
+        engine=str(spec.param("engine", "event")),
         sender_impairments=(imp.sender_pipeline() if imp.sender else None),
         capture_impairments=(imp.capture_pipeline()
                              if imp.capture else None),

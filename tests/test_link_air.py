@@ -86,3 +86,37 @@ class TestContinuousAir:
         air = ContinuousAir(AirConfig(), np.random.default_rng(0))
         with pytest.raises(ConfigurationError):
             air.emit(0)
+
+    def test_skip_advances_cursor_without_rng(self, preamble, shaper, rng):
+        """Skipping idle air consumes no randomness: the waveform emitted
+        after a skip is identical to one emitted after synthesizing the
+        same gap — the property the event-driven core relies on for
+        statistical equivalence of its channel draws."""
+        a = ContinuousAir(AirConfig(noise_power=TINY_NOISE,
+                                    chunk_samples=128),
+                          np.random.default_rng(11))
+        b = ContinuousAir(AirConfig(noise_power=TINY_NOISE,
+                                    chunk_samples=128),
+                          np.random.default_rng(11))
+        a.skip(1024)
+        assert a.cursor == 1024 and a.samples_skipped == 1024
+        b.skip(1024)
+        gen = np.random.default_rng(5)
+        a.schedule(make_tx(preamble, shaper, gen, offset=1100))
+        gen = np.random.default_rng(5)
+        b.schedule(make_tx(preamble, shaper, gen, offset=1100))
+        np.testing.assert_allclose(a.emit(512), b.emit(512), atol=1e-9)
+
+    def test_skip_refuses_scheduled_spans(self, preamble, shaper, rng):
+        air = ContinuousAir(AirConfig(chunk_samples=64),
+                            np.random.default_rng(0))
+        air.schedule(make_tx(preamble, shaper, rng, offset=500))
+        with pytest.raises(ConfigurationError):
+            air.skip(600)          # would jump over the waveform's head
+        air.skip(500)              # up to the waveform is fine
+        assert air.cursor == 500
+
+    def test_skip_validates_count(self):
+        air = ContinuousAir(AirConfig(), np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            air.skip(-1)

@@ -71,10 +71,69 @@ class TestSegmenter:
         signal = block_signal([(100, 3000)], 3400)
         bursts = push_chunked(seg, signal)
         assert seg.forced_closes >= 1
-        assert all(b.samples.size <= 512 + 256 for b in bursts)
+        # The cap is exact: a forced close may not overshoot by however
+        # much of the chunk was left (the pre-fix behavior).
+        assert all(b.samples.size <= 512 for b in bursts)
+        assert all(b.truncated for b in bursts[:-1])
         # Every signal sample still lands in some burst (no gaps).
         covered = sum(b.samples.size for b in bursts)
         assert covered >= 2900
+
+    @pytest.mark.parametrize("chunk", [64, 200, 512, 1024])
+    def test_force_close_cap_exact_for_any_chunking(self, chunk):
+        """The overshoot bug scaled with chunk size: the bigger the push,
+        the further past ``max_burst_samples`` a hot block could run.
+        The cap must hold no matter how the stream is chunked."""
+        cfg = SegmenterConfig(noise_power=1.0, max_burst_samples=512)
+        seg = BurstSegmenter(cfg)
+        signal = block_signal([(50, 4000)], 4200)
+        bursts = push_chunked(seg, signal, chunk=chunk)
+        assert seg.forced_closes >= 1
+        assert max(b.samples.size for b in bursts) <= 512
+        assert sum(b.samples.size for b in bursts) >= 3900
+
+    def test_force_close_cap_exact_when_close_point_past_room(self):
+        """A close hit beyond the remaining room must not drag the burst
+        past the cap on its way to the close point."""
+        cfg = SegmenterConfig(noise_power=1.0, max_burst_samples=512)
+        seg = BurstSegmenter(cfg)
+        # One hot block whose natural close (hang window after 700) lies
+        # beyond the cap; pushed as a single oversized chunk.
+        signal = block_signal([(60, 700)], 1400)
+        bursts = list(seg.push(signal)) + seg.flush()
+        assert all(b.samples.size <= 512 for b in bursts)
+        assert bursts[0].truncated
+
+    def test_skip_advances_absolute_position(self):
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        seg.skip(100_000)
+        signal = block_signal([(300, 700)], 1400)
+        bursts = push_chunked(seg, signal)
+        assert len(bursts) == 1
+        assert 100_200 <= bursts[0].start <= 100_300
+        assert bursts[0].end >= 100_700
+
+    def test_skip_never_reaches_into_skipped_air(self):
+        """The leading-context reach-back stops at the skip boundary:
+        samples before it were never materialized."""
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        seg.skip(5000)
+        # Hot from the very first post-skip sample.
+        bursts = list(seg.push(block_signal([(0, 400)], 800))) + seg.flush()
+        assert len(bursts) == 1
+        assert bursts[0].start >= 5000
+
+    def test_skip_while_open_raises(self):
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        seg.push(block_signal([(10, 128)], 128))
+        assert seg.is_open
+        with pytest.raises(ConfigurationError):
+            seg.skip(64)
+
+    def test_skip_negative_raises(self):
+        seg = BurstSegmenter(SegmenterConfig(noise_power=1.0))
+        with pytest.raises(ConfigurationError):
+            seg.skip(-1)
 
     def test_memory_stays_bounded(self, rng):
         """Residency is capped by the open burst + history, regardless of

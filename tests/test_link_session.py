@@ -202,6 +202,117 @@ class TestAckPlanning:
         assert session._plan_acks(results) == [(2, 0)]
 
 
+class TestBugfixRegressions:
+    """Pinned fixes: snapshot sensing, cap accounting, end-of-session
+    ACK delivery, and the duplicate-decode counter."""
+
+    def _sensing_session(self):
+        return LinkSession(
+            SessionConfig(n_packets=1, payload_bits=200,
+                          sense_probability=1.0),
+            [StreamClient("A", 1, 12.0),
+             StreamClient("B", 2, 12.0),
+             StreamClient("C", 3, 12.0)],
+            rng=np.random.default_rng(0))
+
+    def test_sense_snapshot_excludes_departed_tx(self):
+        """A transmission occupies [start, tx_end): at the boundary
+        where it ends it is no longer on the air, whether or not its
+        owner has stepped yet."""
+        from repro.link import RadioState
+        s = self._sensing_session()
+        a, b, c = s.clients
+        b.state = RadioState.TX
+        b.tx_end = 1000
+        s._refresh_tx_snapshot(980)
+        assert s.medium_busy_for(a) and s.medium_busy_for(c)
+        assert not s.medium_busy_for(b)       # never senses itself
+        s._refresh_tx_snapshot(1000)
+        assert not s.medium_busy_for(a) and not s.medium_busy_for(c)
+
+    def test_sense_snapshot_is_step_order_independent(self):
+        """Clients stepping earlier in the slot must not change what
+        later clients sense: the snapshot is fixed once per boundary.
+        Pre-fix, B leaving _TX during its step made C (stepping after)
+        see an idle medium in the same slot where A (stepping before)
+        saw it busy."""
+        from repro.link import RadioState
+        s = self._sensing_session()
+        a, b, c = s.clients
+        b.state = RadioState.TX
+        b.tx_end = 990                         # ends mid-slot
+        s._refresh_tx_snapshot(980)
+        assert s.medium_busy_for(a)
+        b.state = RadioState.AWAIT_ACK         # b "steps" first
+        assert s.medium_busy_for(c)            # c still senses the TX
+
+    def test_cap_accounts_for_waiting_clients(self):
+        """A client idling between Poisson arrivals at the sample cap
+        was invisible to the old accounting: it was neither unresolved
+        nor had its unoffered packets charged anywhere."""
+        for engine in ("event", "slot"):
+            report = run_session(
+                "zigzag", engine=engine, n_packets=3,
+                sense_probability=1.0, max_samples=20_000,
+                clients=[StreamClient("A", 1, 12.0, 3e-3,
+                                      offered_load=0.001)])
+            assert report.timed_out
+            assert report.counters["unresolved_at_cap"] == 1
+            assert report.counters["packets_unoffered_at_cap"] == 2
+            assert report.flows["A"].sent == 1
+            assert report.flows["A"].delivered == 1
+
+    def test_finalize_delivers_queued_acks(self):
+        """An ACK still queued when the session is cut off (planned by
+        the flushed final burst, or pending past the cap) reaches its
+        sender instead of evaporating."""
+        import heapq
+        import time
+        s = self._sensing_session()
+        st = s.clients[0]
+        st._begin_packet(0)
+        st._transmit(20)
+        s.decode_ber[st.key] = 0.0            # the AP holds the packet
+        heapq.heappush(s._ack_queue, (10 ** 9, *st.key))
+        report = s._finalize(st.tx_end, True, time.perf_counter())
+        assert report.flows["A"].delivered == 1
+        # A resolved on the late ACK; only the two never-started
+        # clients are charged to the cap.
+        assert report.counters["unresolved_at_cap"] == 2
+        assert report.counters["acks_dropped"] == 0
+
+    def test_finalize_drops_stale_acks(self):
+        import heapq
+        import time
+        s = self._sensing_session()
+        heapq.heappush(s._ack_queue, (500, 9, 9))   # no such packet
+        report = s._finalize(1000, False, time.perf_counter())
+        assert report.counters["acks_dropped"] == 1
+
+    def test_duplicate_decode_counter(self):
+        """Re-decoding a packet the AP already holds counts as a
+        duplicate whether or not its ACK ever landed — pre-fix the
+        counter also required the key to be in the acked set, missing
+        every §4.4 infeasible-ACK retransmission."""
+        from types import SimpleNamespace
+
+        from repro.link import Burst
+        s = self._sensing_session()
+        st = s.clients[0]
+        st._begin_packet(0)
+        st._transmit(20)
+        result = SimpleNamespace(
+            header=SimpleNamespace(src=1, seq=0),
+            ber_against=lambda truth: 0.0)
+        s.ap.receive = lambda samples: [result]
+        burst = Burst(samples=np.zeros(8, dtype=complex), start=0)
+        s._process_burst(burst, 100)
+        assert s.counters["duplicate_decodes"] == 0
+        assert st.key not in s.acked            # ACK not delivered yet
+        s._process_burst(burst, 200)
+        assert s.counters["duplicate_decodes"] == 1
+
+
 class TestValidation:
     def test_duplicate_src_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -32,6 +32,19 @@ class TestApStreamScenario:
         flows = result.flows()
         assert "zigzag_A" in flows and "80211_A" in flows
 
+    def test_engine_param_threads_through(self):
+        """params.engine selects the session core; event is the default
+        and the slot-clocked reference stays reachable."""
+        default = build_stream_session(
+            stream_spec(), np.random.default_rng(0), "zigzag")
+        assert default.config.engine == "event"
+        slot = build_stream_session(
+            stream_spec(engine="slot"), np.random.default_rng(0), "zigzag")
+        assert slot.config.engine == "slot"
+        with pytest.raises(ConfigurationError):
+            build_stream_session(stream_spec(engine="nope"),
+                                 np.random.default_rng(0), "zigzag")
+
     def test_default_clients_from_params(self):
         """Without [[sender]] entries, params.n_clients symmetric clients
         named A, B, ... are created."""
