@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: verify test cov lint smoke stream-smoke chaos-smoke bench examples perfbench perfbench-smoke
+.PHONY: verify test cov lint smoke stream-smoke chaos-smoke city-smoke bench examples perfbench perfbench-smoke
 
 # The full gate: tier-1 tests plus a fast runner smoke sweep.
 verify: test smoke
@@ -59,6 +59,18 @@ stream-smoke:
 chaos-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_chaos_soak.py \
 		tests/test_runner_resilience.py
+
+# Geometry-derived deployments end to end: a small 3-AP/12-client city
+# block through the CLI (positions -> pathloss -> hidden pairs ->
+# per-cell closed-loop sessions, sharded over the worker pool), plus
+# the derived-topology test suite (fixed-seed regression, Hypothesis
+# properties, multi-cell coordinator).
+city-smoke:
+	$(PYTHON) -m repro run examples/scenarios/city_scale.toml \
+		--workers 0 --set n_trials=3 \
+		--set deployment.n_aps=3 --set deployment.n_clients=12 \
+		--set deployment.area_m=70
+	$(PYTHON) -m pytest -q tests/test_deployment.py
 
 # Regenerate every paper figure/table (slow; writes benchmarks/results/).
 bench:

@@ -11,7 +11,13 @@ The online system of §4.2.2/§4.4: a bounded-memory sample stream
 from repro.link.air import AirConfig, ContinuousAir
 from repro.link.aps import StandardAp, ZigZagAp, build_ap
 from repro.link.events import EventEngine, EventQueue, RadioState
+from repro.link.multicell import (
+    MultiCellConfig,
+    MultiCellReport,
+    MultiCellSession,
+)
 from repro.link.segmenter import Burst, BurstSegmenter, SegmenterConfig
+from repro.link.topology import Topology
 from repro.link.session import (
     LinkSession,
     SessionConfig,
@@ -27,12 +33,16 @@ __all__ = [
     "EventEngine",
     "EventQueue",
     "LinkSession",
+    "MultiCellConfig",
+    "MultiCellReport",
+    "MultiCellSession",
     "RadioState",
     "SegmenterConfig",
     "SessionConfig",
     "SessionReport",
     "StandardAp",
     "StreamClient",
+    "Topology",
     "ZigZagAp",
     "build_ap",
 ]

@@ -64,7 +64,14 @@ class ContinuousAir:
         self._cursor = 0            # absolute index of the next new sample
         self.samples_emitted = 0
         self.samples_skipped = 0
+        self.samples_injected = 0
+        self.samples_clipped = 0
         self.max_resident_samples = 0
+        # Optional observer called as ``on_schedule(transmission,
+        # waveform)`` for every scheduled transmission — how a
+        # multi-cell coordinator learns the realized waveforms it must
+        # exchange as inter-cell interference.
+        self.on_schedule = None
 
     # ------------------------------------------------------------------
     @property
@@ -100,7 +107,33 @@ class ContinuousAir:
         self._active.append((transmission.offset, waveform))
         self.max_resident_samples = max(self.max_resident_samples,
                                         self.resident_samples)
+        if self.on_schedule is not None:
+            self.on_schedule(transmission, waveform)
         return waveform.size
+
+    def inject(self, start: int, waveform: np.ndarray) -> tuple[int, int]:
+        """Add an externally-realized waveform (inter-cell interference).
+
+        Unlike :meth:`schedule`, no channel is drawn — the samples land
+        as given — and *start* may predate the cursor: interference
+        exchanged at a horizon boundary can reach into air this cell
+        already emitted, so the already-emitted prefix is clipped away
+        (the stream stays causal) and only ``[max(start, cursor),
+        start + len)`` is placed on the air. Returns the effective
+        ``(start, end)`` span; ``end <= start`` means the waveform fell
+        entirely into the past and nothing was placed.
+        """
+        wave = np.ascontiguousarray(waveform)
+        end = start + wave.size
+        lo = max(int(start), self._cursor)
+        self.samples_clipped += min(max(lo - start, 0), wave.size)
+        if lo >= end:
+            return (lo, lo)
+        self._active.append((lo, wave[lo - start:]))
+        self.samples_injected += end - lo
+        self.max_resident_samples = max(self.max_resident_samples,
+                                        self.resident_samples)
+        return (lo, end)
 
     def skip(self, n_samples: int) -> None:
         """Advance the cursor past *n_samples* of idle air in O(1).

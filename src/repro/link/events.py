@@ -96,6 +96,10 @@ class EventQueue:
     def pop(self) -> tuple:
         return heapq.heappop(self._heap)
 
+    def peek_time(self) -> int | None:
+        """Absolute time of the earliest queued event (None when empty)."""
+        return self._heap[0][0] if self._heap else None
+
 
 class EventEngine:
     """Drive one :class:`~repro.link.session.LinkSession` by events.
@@ -133,20 +137,53 @@ class EventEngine:
 
     # ------------------------------------------------------------------
     def run(self, started: float):
+        self.start()
+        self.step_until(None)
+        return self.finish(started)
+
+    def start(self) -> None:
+        """Arm the engine: seed initial arrivals, derive the runaway cap.
+
+        Splitting the old monolithic ``run`` into ``start`` /
+        :meth:`step_until` / :meth:`finish` lets a multi-cell
+        coordinator interleave several engines on one shared horizon;
+        ``run`` composes the three for the single-cell case.
+        """
         s = self.s
-        max_samples = s._max_samples()
+        self.max_samples = s._max_samples()
+        self.timed_out = False
+        self.finished = self.done >= len(s.clients)
         for c in s.clients:
             if c.state == RadioState.IDLE:
                 self.q.push(max(self._boundary(c.next_arrival), 0),
                             PRIO_CLIENT, c.index, ARRIVAL, (c.index, c.gen))
-        timed_out = False
-        while self.done < len(s.clients):
-            if not len(self.q):    # pragma: no cover - invariant guard
+
+    def next_time(self) -> int | None:
+        """Earliest pending event time (None when finished or drained)."""
+        if self.finished:
+            return None
+        return self.q.peek_time()
+
+    def step_until(self, t_stop: int | None) -> bool:
+        """Dispatch every event with time < *t_stop* (all, when None).
+
+        Returns True while the session is still live (events at or past
+        *t_stop* remain); False once every client resolved, the queue
+        drained, or the runaway cap fired — after which only
+        :meth:`finish` remains to be called.
+        """
+        s = self.s
+        while not self.finished:
+            if self.done >= len(s.clients) or not len(self.q):
+                self.finished = True
                 break
+            if t_stop is not None and self.q.peek_time() >= t_stop:
+                return True
             time_, _prio, _tie, _seq, kind, data = self.q.pop()
-            if time_ >= max_samples:
-                timed_out = True
-                self.now = self._boundary(max_samples)
+            if time_ >= self.max_samples:
+                self.timed_out = True
+                self.now = self._boundary(self.max_samples)
+                self.finished = True
                 break
             self.now = max(self.now, time_)
             if kind == AIR_CHUNK:
@@ -161,7 +198,11 @@ class EventEngine:
                 self._on_tx_end(data, self.now)
             elif kind == ACK_TIMEOUT:
                 self._on_ack_timeout(data, self.now)
-        return s._finalize(self.now, timed_out, started)
+        return False
+
+    def finish(self, started: float):
+        """Close the session out (flush, late ACKs, cap accounting)."""
+        return self.s._finalize(self.now, self.timed_out, started)
 
     # ------------------------------------------------------------------
     # Medium: lazy synthesis over covered chunks only.

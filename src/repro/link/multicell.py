@@ -1,0 +1,238 @@
+"""Multi-cell coordinator: one EventEngine per AP, one shared horizon.
+
+Scales the closed-loop session from one AP to a city block: every cell
+of a :class:`~repro.testbed.deployment.Deployment` runs its own
+:class:`~repro.link.session.LinkSession` (own clients, own
+:class:`~repro.link.air.ContinuousAir`, own AP) driven by its own
+:class:`~repro.link.events.EventEngine`, and a coordinator advances all
+engines in lockstep windows of a common *event horizon* (a fixed number
+of air chunks). At each horizon boundary the cells exchange inter-cell
+interference: every waveform scheduled during the window is injected
+into each other cell whose AP hears that client above a floor, scaled
+by the cross-link/home-link SNR ratio with a fresh carrier phase (the
+cross channel is a different path), via :meth:`ContinuousAir.inject`.
+
+Two deliberate approximations, both consequences of exchanging at
+horizon boundaries rather than per sample:
+
+- interference that reaches into air a victim cell already emitted is
+  clipped at the victim's cursor (counted in ``samples_clipped``);
+  shrink ``horizon_chunks`` to tighten the exchange;
+- cross-cell *carrier sense* is not modeled — by construction a
+  deployment's cells are separated beyond carrier-sense range, so
+  cross-cell energy appears at the victim **AP** as decode-degrading
+  interference, not at its clients as channel-busy.
+
+Each engine keeps its own runaway cap, so a stuck cell times out alone
+without stalling the block.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.link.events import EventEngine
+from repro.link.session import LinkSession, SessionReport
+
+__all__ = ["MultiCellConfig", "MultiCellReport", "MultiCellSession"]
+
+
+@dataclass(frozen=True)
+class MultiCellConfig:
+    """Knobs of the coordinator."""
+
+    # Horizon window length, in air chunks: engines run independently
+    # inside a window and exchange interference at its end.
+    horizon_chunks: int = 4
+    # Inject a cross-cell waveform only when the transmitting client's
+    # SNR at the victim AP is at least this (dB); weaker cross links
+    # stay below the noise the victim already synthesizes.
+    interference_floor_db: float = -2.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_chunks < 1:
+            raise ConfigurationError("horizon_chunks must be >= 1")
+
+
+@dataclass
+class MultiCellReport:
+    """What one coordinated multi-cell run produced, block-wide."""
+
+    design: str
+    cells: dict[int, SessionReport]     # keyed by AP index
+    counters: dict[str, float]
+    elapsed_s: float = 0.0
+
+    @property
+    def total_delivered(self) -> int:
+        return sum(r.total_delivered for r in self.cells.values())
+
+    @property
+    def timed_out_cells(self) -> int:
+        return sum(1 for r in self.cells.values() if r.timed_out)
+
+    @property
+    def samples_elapsed(self) -> int:
+        """Block time: the latest cell's elapsed medium time."""
+        return max((r.samples_elapsed for r in self.cells.values()),
+                   default=0)
+
+    @property
+    def max_resident_samples(self) -> float:
+        """Sum of per-cell resident-sample peaks (the memory bound)."""
+        return sum(r.counters["max_resident_samples"]
+                   for r in self.cells.values())
+
+    def throughput(self) -> float:
+        """Block throughput: the sum of per-cell throughputs (cells are
+        parallel media; each is normalized by its own elapsed time)."""
+        return sum(r.throughput() for r in self.cells.values())
+
+
+@dataclass
+class _CellRuntime:
+    """One cell's live state inside the coordinator."""
+
+    plan: object                        # CellPlan
+    session: LinkSession
+    engine: EventEngine
+    # name -> (global client index, SNR at the serving AP)
+    lookup: dict[str, tuple[int, float]] = field(default_factory=dict)
+    # Waveforms scheduled during the current window:
+    # (offset, waveform, global client index, home-link snr_db).
+    window: list = field(default_factory=list)
+    report: SessionReport | None = None
+
+
+class MultiCellSession:
+    """Drive every cell of a deployment to completion, coupled.
+
+    *cells* pairs each :class:`~repro.testbed.deployment.CellPlan` with
+    a ready-built :class:`LinkSession` whose clients carry the plan's
+    names and serving-AP SNRs (see
+    ``repro.runner.builders.build_cell_session``). Sessions must use the
+    event engine — the slot-clocked core has no step-wise API.
+    """
+
+    def __init__(self, deployment, cells, *,
+                 config: MultiCellConfig | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        if not cells:
+            raise ConfigurationError(
+                "multi-cell session needs at least one cell")
+        self.deployment = deployment
+        self.config = config or MultiCellConfig()
+        # Coordinator randomness: the fresh carrier phase of every
+        # injected cross-cell waveform (a different propagation path
+        # than the home link realized).
+        self.rng = rng or np.random.default_rng(0)
+        self.cells: list[_CellRuntime] = []
+        seen = set()
+        for plan, session in cells:
+            if plan.ap in seen:
+                raise ConfigurationError(
+                    f"duplicate cell for AP {plan.ap}")
+            seen.add(plan.ap)
+            if session.config.engine != "event":
+                raise ConfigurationError(
+                    "multi-cell coordination needs engine='event' "
+                    "sessions (the slot core has no step-wise API)")
+            lookup = {}
+            for state in session.clients:
+                name = state.client.name
+                lookup[name] = (plan.client_index(name),
+                                state.client.snr_db)
+            self.cells.append(_CellRuntime(
+                plan=plan, session=session,
+                engine=EventEngine(session), lookup=lookup))
+        # The shared horizon rides the largest chunk size in the block.
+        chunk = max(rt.session.config.chunk_samples for rt in self.cells)
+        self.horizon = self.config.horizon_chunks * chunk
+        self.counters: dict[str, float] = {
+            "windows": 0, "injections": 0, "injections_skipped": 0,
+            "samples_injected": 0, "samples_clipped": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _exchange(self, live: list[_CellRuntime]) -> None:
+        """Inject every window-scheduled waveform into the other cells
+        whose AP hears its transmitter above the interference floor."""
+        floor = self.config.interference_floor_db
+        for src in self.cells:
+            for offset, wave, client, snr_home in src.window:
+                for dst in live:
+                    if dst is src:
+                        continue
+                    snr_vic = self.deployment.ap_client_snr(
+                        dst.plan.ap, client)
+                    if snr_vic < floor:
+                        continue
+                    # Amplitude re-scaled from the home link to the
+                    # cross link; fresh phase for the different path.
+                    scale = 10.0 ** ((snr_vic - snr_home) / 20.0) \
+                        * np.exp(1j * self.rng.uniform(0, 2 * np.pi))
+                    air = dst.session.air
+                    clipped_before = air.samples_clipped
+                    lo, end = air.inject(offset, wave * scale)
+                    self.counters["samples_clipped"] += \
+                        air.samples_clipped - clipped_before
+                    if end <= lo:
+                        self.counters["injections_skipped"] += 1
+                        continue
+                    self.counters["injections"] += 1
+                    self.counters["samples_injected"] += end - lo
+                    # The victim engine must synthesize the touched
+                    # chunks (plus segmenter context) instead of
+                    # skipping them symbolically.
+                    dst.engine._cover_air(lo, end)
+            src.window.clear()
+
+    def run(self) -> MultiCellReport:
+        started = time.perf_counter()
+        for rt in self.cells:
+            recorder = self._make_recorder(rt)
+            rt.session.air.on_schedule = recorder
+            rt.engine.start()
+        live = [rt for rt in self.cells if not rt.engine.finished]
+        for rt in self.cells:
+            if rt.engine.finished and rt.report is None:
+                rt.report = rt.engine.finish(started)
+        window_end = 0
+        while live:
+            self.counters["windows"] += 1
+            # Advance to the window containing the earliest pending
+            # event, so a block-wide idle span costs one iteration, not
+            # one iteration per horizon.
+            pending = [t for t in (rt.engine.next_time() for rt in live)
+                       if t is not None]
+            window_end += self.horizon
+            if pending:
+                aligned = (min(pending) // self.horizon) * self.horizon
+                window_end = max(window_end, aligned + self.horizon)
+            for rt in live:
+                if not rt.engine.step_until(window_end):
+                    rt.report = rt.engine.finish(started)
+            # Exchange after every cell reached the boundary — including
+            # the final window of a cell that just finished, whose last
+            # transmissions still interfere with its neighbours.
+            live = [rt for rt in self.cells if rt.report is None]
+            self._exchange(live)
+        for rt in self.cells:
+            rt.session.air.on_schedule = None
+        return MultiCellReport(
+            design=self.cells[0].session.design,
+            cells={rt.plan.ap: rt.report for rt in self.cells},
+            counters=dict(self.counters),
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def _make_recorder(self, rt: _CellRuntime):
+        def record(transmission, waveform) -> None:
+            client, snr_home = rt.lookup[transmission.label]
+            rt.window.append(
+                (transmission.offset, waveform, client, snr_home))
+        return record

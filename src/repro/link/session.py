@@ -43,6 +43,7 @@ from repro.link.air import AirConfig, ContinuousAir
 from repro.link.aps import build_ap
 from repro.link.events import EventEngine, RadioState
 from repro.link.segmenter import BurstSegmenter, SegmenterConfig
+from repro.link.topology import Topology, max_clique_size
 from repro.mac.ack import plan_synchronous_acks
 from repro.mac.backoff import BackoffPicker, FixedWindowBackoff
 from repro.mac.timing import TIMING_80211G, Timing
@@ -66,29 +67,9 @@ _AWAIT_ACK = RadioState.AWAIT_ACK
 _DONE = RadioState.DONE
 
 
-def _max_clique_size(names, edges: set[frozenset[str]]) -> int:
-    """Largest mutually-hidden group in a hidden-edge graph.
-
-    Exact branch-and-bound search; a session holds at most a few dozen
-    clients and hidden graphs are sparse, so this is instant.
-    """
-    names = list(names)
-    if not names:
-        return 0
-    best = 1
-
-    def extend(size: int, candidates: list[str]) -> None:
-        nonlocal best
-        best = max(best, size)
-        for idx, name in enumerate(candidates):
-            if size + len(candidates) - idx <= best:
-                return  # bound: cannot beat the incumbent
-            extend(size + 1,
-                   [other for other in candidates[idx + 1:]
-                    if frozenset((name, other)) in edges])
-
-    extend(0, names)
-    return best
+# Kept under the session's historical private name; the implementation
+# moved to repro.link.topology alongside the rest of the topology logic.
+_max_clique_size = max_clique_size
 
 
 @dataclass(frozen=True)
@@ -126,8 +107,14 @@ class SessionConfig:
     tx_evm: float = 0.03
     coarse_freq_error: float = 1.5e-5
     sense_probability: float = 0.0   # pairwise, drawn once per session
-    # Explicit topology: client-name pairs that can NOT sense each other,
-    # with every other pair sensing perfectly. Overrides
+    # The preferred way to declare who senses whom: a
+    # :class:`~repro.link.topology.Topology` (explicit, probabilistic,
+    # or derived from a deployment's geometry). When None, the legacy
+    # fields below are routed through the matching Topology constructor
+    # — bit-compatible with the historical inline code paths.
+    topology: Topology | None = None
+    # Legacy explicit topology: client-name pairs that can NOT sense
+    # each other, with every other pair sensing perfectly. Overrides
     # sense_probability. This is how a "hidden-pair-dominated" scenario
     # is pinned down deterministically.
     hidden_pairs: tuple[tuple[str, str], ...] | None = None
@@ -168,28 +155,33 @@ class SessionConfig:
                 and self.max_collision_packets < 2:
             raise ConfigurationError(
                 "max_collision_packets must be >= 2")
+        if self.topology is not None and (
+                self.hidden_pairs is not None
+                or self.hidden_cliques is not None
+                or self.sense_probability != 0.0):
+            raise ConfigurationError(
+                "give either topology= or the legacy hidden_pairs/"
+                "hidden_cliques/sense_probability fields, not both")
+
+    def effective_topology(self) -> Topology:
+        """The session's topology, with the legacy fields routed through
+        the matching (bit-compatible) Topology constructor."""
+        if self.topology is not None:
+            return self.topology
+        if self.hidden_pairs is not None or self.hidden_cliques is not None:
+            return Topology.explicit(self.hidden_pairs, self.hidden_cliques)
+        return Topology.probabilistic(self.sense_probability)
 
     def hidden_edges(self) -> set[frozenset[str]]:
-        """Every explicitly-hidden client pair (pairs plus expanded
-        cliques), as name pair sets."""
-        edges = {frozenset(pair) for pair in (self.hidden_pairs or ())}
-        for clique in (self.hidden_cliques or ()):
-            if len(clique) < 2:
-                raise ConfigurationError(
-                    "hidden cliques need at least two clients")
-            edges.update(frozenset((a, b))
-                         for i, a in enumerate(clique)
-                         for b in clique[i + 1:])
-        return edges
+        """Every deterministically-hidden client pair, as name sets."""
+        return self.effective_topology().hidden_edges()
 
     def collision_packets(self) -> int:
         """The AP's k: explicit override, or the largest mutually-hidden
         group in the declared topology (at least the pairwise 2)."""
         if self.max_collision_packets is not None:
             return self.max_collision_packets
-        edges = self.hidden_edges()
-        names = sorted({name for edge in edges for name in edge})
-        return max(2, _max_clique_size(names, edges))
+        return self.effective_topology().collision_packets()
 
 
 @dataclass
@@ -437,31 +429,11 @@ class LinkSession:
 
         # Pairwise sensing, fixed for the whole session: hidden pairs
         # (and cliques of n mutually-hidden clients) stay hidden, which
-        # is the paper's topology model.
-        n = len(clients)
+        # is the paper's topology model. The Topology object owns both
+        # the legacy-compatible paths and the geometry-derived one.
         names = [c.name for c in clients]
-        explicit = config.hidden_pairs is not None \
-            or config.hidden_cliques is not None
-        if explicit:
-            hidden = config.hidden_edges()
-            unknown = {name for pair in hidden for name in pair} \
-                - set(names)
-            if unknown:
-                raise ConfigurationError(
-                    f"hidden topology names unknown clients: "
-                    f"{sorted(unknown)}")
-            sense = np.ones((n, n), dtype=bool)
-            for i in range(n):
-                for j in range(i + 1, n):
-                    if frozenset((names[i], names[j])) in hidden:
-                        sense[i, j] = sense[j, i] = False
-        else:
-            sense = np.zeros((n, n), dtype=bool)
-            for i in range(n):
-                for j in range(i + 1, n):
-                    sense[i, j] = sense[j, i] = \
-                        self.rng.uniform() < config.sense_probability
-        self._sense = sense
+        self.topology = config.effective_topology()
+        self._sense = self.topology.sense_matrix(names, self.rng)
         self._index = {c.client.src: i for i, c in enumerate(self.clients)}
 
         self.flows = {c.name: FlowStats() for c in clients}

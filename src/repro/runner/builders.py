@@ -18,17 +18,27 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.link import LinkSession, SessionConfig, StreamClient
+from repro.link import (
+    LinkSession,
+    MultiCellConfig,
+    MultiCellSession,
+    SessionConfig,
+    StreamClient,
+    Topology,
+)
 from repro.phy.channel import ChannelParams
 from repro.phy.constellation import BPSK
 from repro.phy.frame import Frame
+from repro.phy.impairments import BurstNoise, ImpairmentPipeline
 from repro.phy.medium import Transmission, synthesize
 from repro.phy.sync import Synchronizer
-from repro.runner.cache import cached_preamble, cached_shaper
+from repro.runner.cache import cached_preamble, cached_shaper, shared_cache
+from repro.testbed.deployment import CellPlan, Deployment
 from repro.utils.bits import random_bits
 from repro.zigzag.engine import PacketSpec, PlacementParams
 
-__all__ = ["STREAM_CLIENT_NAMES", "build_stream_session",
+__all__ = ["STREAM_CLIENT_NAMES", "build_cell_session",
+           "build_city_session", "build_stream_session", "get_deployment",
            "hidden_pair_scenario"]
 
 
@@ -210,3 +220,142 @@ def build_stream_session(spec, rng: np.random.Generator, design: str,
     return LinkSession(config, clients, design=design, rng=rng,
                        preamble=cached_preamble(spec.preamble_length),
                        shaper=cached_shaper())
+
+
+# ----------------------------------------------------------------------
+# Geometry-derived deployments (the [deployment] spec table)
+# ----------------------------------------------------------------------
+def get_deployment(spec) -> Deployment:
+    """The spec's generated :class:`Deployment`, process-locally cached.
+
+    A deployment is pure in its (config, seed) pair, so every trial of a
+    run — and every worker process — regenerates the identical layout;
+    the cache just skips the pathloss-matrix draw after the first trial
+    in each process.
+    """
+    dep = spec.deployment
+    if dep.is_empty:
+        raise ConfigurationError(
+            "this scenario derives its topology from geometry; "
+            "add a [deployment] table (n_aps, n_clients, ...) to the spec")
+    dep.validate()
+    return shared_cache().get(
+        ("deployment", dep),
+        lambda: Deployment.generate(dep.config(), seed=dep.seed))
+
+
+# At most this many out-of-cell interferers are approximated per cell in
+# sharded mode; the strongest dominate the sum and each stage costs one
+# noise draw per chunk.
+_MAX_APPROX_INTERFERERS = 3
+
+
+def _interference_stages(spec, deployment: Deployment,
+                         plan: CellPlan) -> list:
+    """Bursty-noise stand-ins for the strongest out-of-cell transmitters.
+
+    Sharded (one-cell-per-worker) runs cannot exchange real cross-cell
+    waveforms, so each foreign client the AP hears above the interference
+    floor becomes a ``burst_noise`` stage: power at the victim AP from
+    the SNR matrix, duty cycle from the client's offered load (a
+    saturated client holds the medium roughly a packet in three once MAC
+    overhead and backoff are paid), burst length of one air chunk.
+    """
+    dep = spec.deployment
+    stages = []
+    heard = deployment.interferers(plan.ap, dep.interference_floor_db)
+    for client, snr in heard[:_MAX_APPROX_INTERFERERS]:
+        load = dep.client_offered_load(client)
+        duty = 0.35 if load is None else min(1.0, float(load))
+        stages.append(BurstNoise(
+            power_db=float(snr), duty_cycle=duty,
+            burst_samples=int(spec.param("chunk_samples", 1024))))
+    return stages
+
+
+def build_cell_session(spec, rng: np.random.Generator, design: str,
+                       deployment: Deployment, plan: CellPlan, *,
+                       approximate_interference: bool = False
+                       ) -> LinkSession:
+    """One cell of a deployment as a :class:`~repro.link.LinkSession`.
+
+    Clients carry the plan's derived names, global ``src`` ids and
+    serving-AP SNRs; the topology is the plan's derived sense
+    probabilities (:meth:`Topology.from_cell`), and per-client offered
+    load comes from the ``[deployment]`` load mix. With
+    *approximate_interference* the strongest out-of-cell transmitters
+    ride the capture pipeline as bursty noise (sharded mode); leave it
+    off when a :class:`~repro.link.MultiCellSession` exchanges the real
+    waveforms instead.
+    """
+    dep = spec.deployment
+    spread = spec.channel.freq_spread
+    clients = [
+        StreamClient(
+            name=name, src=src, snr_db=snr,
+            freq_offset=float(rng.uniform(-spread, spread)),
+            offered_load=dep.client_offered_load(index))
+        for name, src, snr, index
+        in zip(plan.names, plan.srcs, plan.snr_db, plan.clients)
+    ]
+    topology = Topology.from_cell(plan)
+    imp = spec.impairments
+    capture = imp.capture_pipeline() if imp.capture else None
+    if approximate_interference:
+        stages = _interference_stages(spec, deployment, plan)
+        if stages:
+            capture = ImpairmentPipeline(
+                tuple(capture.stages if capture else ()) + tuple(stages))
+    # Big derived cells can contain large hidden cliques; cap the AP's
+    # k-way resolution cost unless the spec raises it explicitly.
+    max_k = min(topology.collision_packets(),
+                int(spec.param("max_collision_packets", 4)))
+    config = SessionConfig(
+        payload_bits=spec.payload_bits,
+        n_packets=spec.n_packets,
+        max_attempts=int(spec.param("max_attempts", 6)),
+        noise_power=spec.channel.noise_power,
+        slot_samples=spec.slot_samples,
+        backoff=spec.backoff.build(),
+        phase_noise_std=spec.channel.phase_noise_std,
+        tx_evm=spec.channel.tx_evm,
+        coarse_freq_error=spec.channel.coarse_freq_error,
+        topology=topology,
+        max_collision_packets=max_k,
+        modulation=spec.modulation,
+        preamble_length=spec.preamble_length,
+        chunk_samples=int(spec.param("chunk_samples", 1024)),
+        buffer_max_age=int(spec.param("buffer_max_age", 24)),
+        engine=str(spec.param("engine", "event")),
+        sender_impairments=(imp.sender_pipeline() if imp.sender else None),
+        capture_impairments=capture,
+    )
+    return LinkSession(config, clients, design=design, rng=rng,
+                       preamble=cached_preamble(spec.preamble_length),
+                       shaper=cached_shaper())
+
+
+def build_city_session(spec, rng: np.random.Generator,
+                       design: str) -> MultiCellSession:
+    """Every populated cell of the spec's deployment, coupled.
+
+    Builds one event-engine session per cell (each from its own child
+    generator of *rng*, so the cell count doesn't perturb per-cell
+    streams) and wraps them in a :class:`~repro.link.MultiCellSession`
+    that exchanges real inter-cell interference waveforms at horizon
+    boundaries — no bursty-noise approximation.
+    """
+    deployment = get_deployment(spec)
+    dep = spec.deployment
+    cells = []
+    for plan in deployment.cells():
+        cell_rng = np.random.default_rng(int(rng.integers(1 << 63)))
+        cells.append((plan, build_cell_session(
+            spec, cell_rng, design, deployment, plan,
+            approximate_interference=False)))
+    return MultiCellSession(
+        deployment, cells,
+        config=MultiCellConfig(
+            horizon_chunks=dep.horizon_chunks,
+            interference_floor_db=dep.interference_floor_db),
+        rng=np.random.default_rng(int(rng.integers(1 << 63))))

@@ -49,9 +49,12 @@ from repro.runner.resilience import (
 from repro.runner.results import RunResult, SweepResult, TrialResult
 from repro.runner.scenarios import (
     TrialContext,
+    deployment_scenarios,
     get_batched_scenario,
     get_scenario,
+    impairment_scenarios,
     scenario_designs,
+    scenario_supports_deployment,
     scenario_supports_impairments,
 )
 from repro.runner.shm import CaptureRef, SharedCaptureArena
@@ -233,9 +236,16 @@ class MonteCarloRunner:
             raise ConfigurationError(
                 f"scenario {spec.kind!r} does not apply the spec's "
                 "[impairments] table; running it would silently ignore "
-                "the pipelines (impairment-aware scenarios: pair, "
-                "capture, testbed_pair, hidden_pair_*, ap_stream, "
-                "offered_load)")
+                "the pipelines (impairment-aware scenarios: "
+                f"{', '.join(impairment_scenarios())})")
+        if not spec.deployment.is_empty \
+                and not scenario_supports_deployment(spec.kind):
+            raise ConfigurationError(
+                f"scenario {spec.kind!r} does not consume the spec's "
+                "[deployment] table; running it would silently fall "
+                "back to the default topology (deployment scenarios: "
+                f"{', '.join(deployment_scenarios())})")
+        spec.deployment.validate()
         journal = self._ensure_journal(spec)
         indices = list(range(spec.n_trials))
         completed: dict[int, TrialResult] = {}

@@ -32,7 +32,10 @@ from repro.receiver.decoder import StandardDecoder
 from repro.receiver.frontend import StreamConfig, SymbolStreamDecoder
 from repro.runner.builders import (
     STREAM_CLIENT_NAMES,
+    build_cell_session,
+    build_city_session,
     build_stream_session,
+    get_deployment,
     hidden_pair_scenario,
 )
 from repro.runner.cache import cached_preamble, cached_shaper, shared_cache
@@ -59,10 +62,13 @@ __all__ = [
     "CollisionPayload",
     "TrialContext",
     "available_scenarios",
+    "deployment_scenarios",
     "get_scenario",
     "get_batched_scenario",
+    "impairment_scenarios",
     "scenario",
     "scenario_supports_batching",
+    "scenario_supports_deployment",
     "scenario_supports_impairments",
 ]
 
@@ -79,6 +85,10 @@ _DESIGN_SUPPORT: dict[str, tuple[str, ...] | None] = {}
 # that would silently ignore it — an un-applied impairment reads as
 # "ZigZag is robust to X" when X never happened.
 _IMPAIRMENT_SUPPORT: dict[str, bool] = {}
+# Whether a scenario consumes the spec's [deployment] table (a geometry-
+# derived multi-cell topology). Same rejection logic: a deployment table
+# a scenario ignores would silently run the default topology instead.
+_DEPLOYMENT_SUPPORT: dict[str, bool] = {}
 _ALL_DESIGNS = ("zigzag", "802.11", "collision-free")
 
 
@@ -100,15 +110,17 @@ class TrialContext:
 
 
 def scenario(name: str, *, designs: tuple[str, ...] | None = _ALL_DESIGNS,
-             impairments: bool = False
+             impairments: bool = False, deployment: bool = False
              ) -> Callable[[ScenarioFn], ScenarioFn]:
     """Register a trial function under a spec ``kind``.
 
     *designs* lists the ``spec.design`` values the scenario honors
     (default: all three); pass ``None`` for scenarios that are
     design-independent. *impairments* declares that the scenario threads
-    the spec's ``[impairments]`` pipelines through its signal path; the
-    runner rejects impaired specs for scenarios that don't.
+    the spec's ``[impairments]`` pipelines through its signal path;
+    *deployment* that it builds its topology from the spec's
+    ``[deployment]`` table. The runner rejects specs carrying either
+    table for scenarios that don't consume it.
     """
 
     def register(fn: ScenarioFn) -> ScenarioFn:
@@ -117,6 +129,7 @@ def scenario(name: str, *, designs: tuple[str, ...] | None = _ALL_DESIGNS,
         _REGISTRY[name] = fn
         _DESIGN_SUPPORT[name] = designs
         _IMPAIRMENT_SUPPORT[name] = impairments
+        _DEPLOYMENT_SUPPORT[name] = deployment
         return fn
 
     return register
@@ -132,6 +145,22 @@ def scenario_supports_impairments(name: str) -> bool:
     """Does the scenario apply the spec's ``[impairments]`` pipelines?"""
     get_scenario(name)  # raise on unknown kinds
     return _IMPAIRMENT_SUPPORT[name]
+
+
+def scenario_supports_deployment(name: str) -> bool:
+    """Does the scenario consume the spec's ``[deployment]`` table?"""
+    get_scenario(name)  # raise on unknown kinds
+    return _DEPLOYMENT_SUPPORT[name]
+
+
+def impairment_scenarios() -> list[str]:
+    """Sorted kinds that apply ``[impairments]`` (for error messages)."""
+    return sorted(n for n, ok in _IMPAIRMENT_SUPPORT.items() if ok)
+
+
+def deployment_scenarios() -> list[str]:
+    """Sorted kinds that consume ``[deployment]`` (for error messages)."""
+    return sorted(n for n, ok in _DEPLOYMENT_SUPPORT.items() if ok)
 
 
 def get_scenario(name: str) -> ScenarioFn:
@@ -698,6 +727,97 @@ def offered_load_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
     """
     load = float(spec.param("offered_load", 0.6))
     return _stream_designs_trial(spec, ctx, default_load=load)
+
+
+# ----------------------------------------------------------------------
+# Geometry-derived city scenarios (the [deployment] spec table)
+# ----------------------------------------------------------------------
+@scenario("city_scale", designs=None, impairments=True, deployment=True)
+def city_scale_trial(spec: ScenarioSpec, ctx: TrialContext) -> TrialResult:
+    """One cell of a geometry-derived city block, ZigZag vs 802.11.
+
+    The ``[deployment]`` table generates the block (APs on a jittered
+    grid, clients by pathloss-strongest association, hidden pairs from
+    inter-client SNR); trial *i* runs cell ``i mod n_cells``, so a run
+    whose ``n_trials`` is a multiple of the cell count covers the block
+    evenly and the runner's process pool shards one cell per worker.
+    Out-of-cell transmitters the AP hears above
+    ``deployment.interference_floor_db`` are approximated as bursty
+    noise on the capture path (the coupled alternative is
+    ``city_multicell``). Metrics mirror ``ap_stream`` aggregates plus
+    the cell's derived shape (``cell_clients``, ``cell_hidden_pairs``).
+    """
+    deployment = get_deployment(spec)
+    cells = deployment.cells()
+    plan = cells[ctx.index % len(cells)]
+    metrics: dict[str, float] = {}
+    flows = {}
+    extra: dict[str, Any] = {"ap": plan.ap, "clients": plan.names}
+    reports = {}
+    for design, tag in (("zigzag", "zigzag"), ("802.11", "80211")):
+        session = build_cell_session(
+            spec, np.random.default_rng(ctx.seed), design, deployment,
+            plan, approximate_interference=True)
+        report = session.run()
+        reports[tag] = report
+        stats_all = list(report.flows.values())
+        metrics[f"throughput_{tag}"] = report.throughput()
+        metrics[f"delivered_{tag}"] = float(report.total_delivered)
+        metrics[f"loss_{tag}"] = float(np.mean(
+            [s.loss_rate for s in stats_all])) if stats_all else 0.0
+        metrics[f"timed_out_{tag}"] = float(report.timed_out)
+        for name, stats in report.flows.items():
+            flows[f"{tag}_{name}"] = stats
+    zz = reports["zigzag"]
+    rx = zz.receiver_stats
+    metrics["zigzag_matches"] = float(rx.zigzag_matches)
+    metrics["multiway_matches"] = float(rx.multiway_matches)
+    metrics["max_resident_samples"] = zz.counters["max_resident_samples"]
+    metrics["cell_clients"] = float(plan.n_clients)
+    metrics["cell_hidden_pairs"] = float(len(plan.hidden_pairs))
+    extra["counters"] = {tag: dict(r.counters)
+                         for tag, r in reports.items()}
+    return TrialResult(index=ctx.index, metrics=metrics, flows=flows,
+                       airtime=zz.airtime_packets, extra=extra)
+
+
+@scenario("city_multicell", designs=("zigzag", "802.11"),
+          impairments=True, deployment=True)
+def city_multicell_trial(spec: ScenarioSpec,
+                         ctx: TrialContext) -> TrialResult:
+    """The whole coupled city block under the design under test.
+
+    One :class:`~repro.link.MultiCellSession` per trial: every populated
+    cell runs its own event engine and the coordinator exchanges real
+    inter-cell interference waveforms at horizon boundaries — the
+    reference physics the sharded ``city_scale`` approximation is
+    measured against. Metrics: block throughput/delivered, per-cell
+    throughput (``throughput_ap{a}``), timed-out cell count, the
+    summed resident-sample peak, and the exchange counters.
+    """
+    city = build_city_session(
+        spec, np.random.default_rng(ctx.seed), spec.design)
+    report = city.run()
+    metrics: dict[str, float] = {
+        "throughput_total": report.throughput(),
+        "delivered_total": float(report.total_delivered),
+        "timed_out_cells": float(report.timed_out_cells),
+        "max_resident_samples": float(report.max_resident_samples),
+        "windows": report.counters["windows"],
+        "injections": report.counters["injections"],
+        "samples_injected": report.counters["samples_injected"],
+        "samples_clipped": report.counters["samples_clipped"],
+    }
+    flows = {}
+    losses = []
+    for ap, cell_report in sorted(report.cells.items()):
+        metrics[f"throughput_ap{ap}"] = cell_report.throughput()
+        for name, stats in cell_report.flows.items():
+            flows[f"ap{ap}_{name}"] = stats
+            losses.append(stats.loss_rate)
+    metrics["loss_mean"] = float(np.mean(losses)) if losses else 0.0
+    return TrialResult(index=ctx.index, metrics=metrics, flows=flows,
+                       extra={"counters": dict(report.counters)})
 
 
 # ----------------------------------------------------------------------

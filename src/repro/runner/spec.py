@@ -54,10 +54,13 @@ from repro.mac.backoff import BackoffPicker, ExponentialBackoff, FixedWindowBack
 from repro.phy.impairments import ImpairmentPipeline, make_impairment
 from repro.runner.chaos import FaultSpec
 from repro.runner.resilience import FailurePolicy
+from repro.testbed.deployment import DeploymentConfig
+from repro.testbed.pathloss import LogDistancePathLoss
 
 __all__ = [
     "BackoffSpec",
     "ChannelSpec",
+    "DeploymentSpec",
     "ImpairmentsSpec",
     "ScenarioSpec",
     "SenderSpec",
@@ -179,6 +182,112 @@ class ImpairmentsSpec:
         return replace(self, **{hook: tuple(stages)})
 
 
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """The ``[deployment]`` table: a geometry-derived multi-cell layout.
+
+    Declares the city block the ``city_*`` scenarios simulate: AP and
+    client counts, area, the log-distance path-loss model, carrier-sense
+    and association thresholds, the traffic mix, and the coordinator's
+    interference-exchange knobs. The default-constructed spec
+    (``n_aps == 0``) means "no deployment declared" — scenarios that
+    need one reject it, scenarios that don't reject anything else.
+
+    The layout itself (positions, shadowing, association) is drawn from
+    ``seed`` alone — independent of the trial seed, so every trial of a
+    run sees the *same* city and Monte-Carlo noise stays in the
+    MAC/PHY randomness.
+    """
+
+    n_aps: int = 0
+    n_clients: int = 0
+    area_m: float = 120.0
+    seed: int = 7
+    # Path-loss model (repro.testbed.pathloss.LogDistancePathLoss).
+    exponent: float = 3.2
+    reference_db: float = 40.0
+    reference_m: float = 1.0
+    shadowing_db: float = 4.0
+    # Link budget and thresholds (repro.testbed.deployment).
+    tx_power_dbm: float = 0.0
+    noise_floor_dbm: float = -86.0
+    cs_full_db: float = 4.0
+    cs_none_db: float = 2.0
+    reachable_db: float = 3.0
+    max_snr_db: float = 25.0
+    # Traffic mix: `saturated_fraction` of the clients are saturated
+    # heavy hitters; the rest offer `offered_load` of a packet-airtime
+    # each (0 = everyone saturated). Assignment is a deterministic hash
+    # of the global client index, so the mix is stable across trials,
+    # designs and worker counts.
+    offered_load: float = 0.0
+    saturated_fraction: float = 0.0
+    # Coordinator knobs (multi-cell exchange / sharded approximation).
+    interference_floor_db: float = -2.0
+    horizon_chunks: int = 4
+
+    def validate(self) -> None:
+        """Reject an unusable table (no-op when none was declared).
+
+        Deliberately not ``__post_init__``: CLI ``--set`` overrides are
+        applied one key at a time, so intermediate states (n_aps set,
+        n_clients still 0) must stay constructible. ``from_dict`` and
+        the runner's pre-run gate call this on the *final* spec.
+        """
+        if self.is_empty:
+            return
+        if self.n_aps < 1 or self.n_clients < 1:
+            raise ConfigurationError(
+                "[deployment] needs n_aps >= 1 and n_clients >= 1")
+        if not 0.0 <= self.offered_load <= 1.0:
+            raise ConfigurationError(
+                "[deployment] offered_load must be in [0, 1]")
+        if not 0.0 <= self.saturated_fraction <= 1.0:
+            raise ConfigurationError(
+                "[deployment] saturated_fraction must be in [0, 1]")
+        if self.horizon_chunks < 1:
+            raise ConfigurationError(
+                "[deployment] horizon_chunks must be >= 1")
+        self.config()  # let DeploymentConfig validate the rest eagerly
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no ``[deployment]`` table was declared."""
+        return self.n_aps == 0 and self.n_clients == 0
+
+    def config(self) -> DeploymentConfig:
+        """The testbed-layer DeploymentConfig this spec describes."""
+        return DeploymentConfig(
+            n_aps=self.n_aps,
+            n_clients=self.n_clients,
+            area_m=self.area_m,
+            tx_power_dbm=self.tx_power_dbm,
+            noise_floor_dbm=self.noise_floor_dbm,
+            pathloss=LogDistancePathLoss(
+                exponent=self.exponent,
+                reference_db=self.reference_db,
+                reference_m=self.reference_m,
+                shadowing_db=self.shadowing_db),
+            cs_full_db=self.cs_full_db,
+            cs_none_db=self.cs_none_db,
+            reachable_db=self.reachable_db,
+            max_snr_db=self.max_snr_db,
+        )
+
+    def client_offered_load(self, client: int) -> float | None:
+        """Global client *client*'s offered load (None = saturated).
+
+        A Knuth multiplicative hash of the index picks the saturated
+        subset, so the mix is reproducible without consuming any rng.
+        """
+        if self.offered_load <= 0.0:
+            return None
+        u = ((client + 1) * 2654435761 % (1 << 32)) / (1 << 32)
+        if u < self.saturated_fraction:
+            return None
+        return self.offered_load
+
+
 _DESIGNS = ("zigzag", "802.11", "collision-free")
 
 
@@ -192,6 +301,7 @@ class ScenarioSpec:
     channel: ChannelSpec = field(default_factory=ChannelSpec)
     backoff: BackoffSpec = field(default_factory=BackoffSpec)
     impairments: ImpairmentsSpec = field(default_factory=ImpairmentsSpec)
+    deployment: DeploymentSpec = field(default_factory=DeploymentSpec)
     sense_probability: float = 0.0
     payload_bits: int = 240
     n_packets: int = 6
@@ -259,6 +369,12 @@ class ScenarioSpec:
                 "use [[impairments.sender]] / [[impairments.capture]]")
         impairments = ImpairmentsSpec(**impairments_table)
         try:
+            deployment = DeploymentSpec(**data.pop("deployment", {}))
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad [deployment] table: {exc}") from exc
+        deployment.validate()
+        try:
             resilience = FailurePolicy(**data.pop("resilience", {}))
             faults = FaultSpec(**data.pop("faults", {}))
         except TypeError as exc:
@@ -270,8 +386,9 @@ class ScenarioSpec:
                 f"unknown scenario tables: {sorted(data)}")
         try:
             return cls(senders=senders, channel=channel, backoff=backoff,
-                       impairments=impairments, resilience=resilience,
-                       faults=faults, params=params, **scalar)
+                       impairments=impairments, deployment=deployment,
+                       resilience=resilience, faults=faults,
+                       params=params, **scalar)
         except TypeError as exc:
             raise ConfigurationError(f"bad [scenario] table: {exc}") from exc
 
@@ -303,6 +420,8 @@ class ScenarioSpec:
         out["backoff"] = dataclasses.asdict(self.backoff)
         if not self.impairments.is_empty:
             out["impairments"] = self.impairments.to_dict()
+        if not self.deployment.is_empty:
+            out["deployment"] = dataclasses.asdict(self.deployment)
         if self.resilience != FailurePolicy():
             out["resilience"] = dataclasses.asdict(self.resilience)
         if not self.faults.is_empty or self.faults != FaultSpec():
@@ -333,6 +452,9 @@ class ScenarioSpec:
         if head == "backoff" and rest:
             return replace(self, backoff=replace(self.backoff,
                                                  **{rest: value}))
+        if head == "deployment" and rest:
+            return replace(self, deployment=replace(self.deployment,
+                                                    **{rest: value}))
         if head == "resilience" and rest:
             return replace(self, resilience=replace(self.resilience,
                                                     **{rest: value}))

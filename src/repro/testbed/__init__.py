@@ -12,6 +12,12 @@ ZigZag, Current 802.11, and the Collision-Free Scheduler (§5.1e).
 
 from repro.testbed.pathloss import LogDistancePathLoss
 from repro.testbed.topology import SensingClass, Testbed, default_testbed
+from repro.testbed.deployment import (
+    CellPlan,
+    Deployment,
+    DeploymentConfig,
+    client_name,
+)
 from repro.testbed.metrics import FlowStats, normalized_throughput, loss_rate
 from repro.testbed.csma import (
     CleanTransmission,
@@ -28,9 +34,13 @@ from repro.testbed.experiment import (
 )
 
 __all__ = [
+    "CellPlan",
+    "Deployment",
+    "DeploymentConfig",
     "LogDistancePathLoss",
     "SensingClass",
     "Testbed",
+    "client_name",
     "default_testbed",
     "FlowStats",
     "normalized_throughput",

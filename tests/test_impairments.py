@@ -352,7 +352,8 @@ enob = 6.0
                          "hidden_pair_decode",
                          "hidden_pair_impaired", "hidden_pair_fading",
                          "hidden_pair_frontend", "ap_stream",
-                         "offered_load", "three_senders_stream"}
+                         "offered_load", "three_senders_stream",
+                         "city_scale", "city_multicell"}
 
     def test_override_bad_path(self, spec):
         with pytest.raises(ConfigurationError, match="impairment override"):
