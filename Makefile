@@ -70,7 +70,13 @@ city-smoke:
 		--workers 0 --set n_trials=3 \
 		--set deployment.n_aps=3 --set deployment.n_clients=12 \
 		--set deployment.area_m=70
-	$(PYTHON) -m pytest -q tests/test_deployment.py
+	$(PYTHON) -m repro run examples/scenarios/city_scale.toml \
+		--workers 1 --set n_trials=1 --set kind=city_multicell \
+		--set design=zigzag --set deployment.n_aps=3 \
+		--set deployment.n_clients=12 --set deployment.area_m=70 \
+		--set deployment.coupled_workers=2
+	$(PYTHON) -m pytest -q tests/test_deployment.py \
+		tests/test_multicell_parallel.py
 
 # Regenerate every paper figure/table (slow; writes benchmarks/results/).
 bench:

@@ -17,11 +17,13 @@ real inter-cell waveform exchange stays live at soak settings.
 """
 
 import os
+import time
 
 import numpy as np
 
 from repro.runner.builders import build_city_session, get_deployment
 from repro.runner.runner import MonteCarloRunner
+from repro.runner.shm import find_leaked_arenas
 from repro.runner.spec import ScenarioSpec
 
 N_APS = 10
@@ -91,16 +93,36 @@ def test_city_soak(benchmark, record_table):
 
 
 def test_city_multicell_coupled(benchmark, record_table):
-    """A smaller coupled block through the multi-cell coordinator."""
-    spec = ScenarioSpec.from_dict({
-        "scenario": {"kind": "city_multicell", "n_packets": 2,
-                     "payload_bits": 96, "design": "zigzag",
-                     "seed": SEED},
-        "deployment": {"n_aps": 4, "n_clients": 24, "area_m": 80.0,
-                       "seed": SEED},
-    })
-    city = build_city_session(spec, np.random.default_rng(SEED), "zigzag")
-    report = benchmark.pedantic(city.run, rounds=1, iterations=1)
+    """A smaller coupled block through both multi-cell coordinators.
+
+    Runs the identical block twice — sequential stepping, then the
+    process-parallel mode with one pinned cell worker per cell — and
+    records both wall clocks plus the bit-identity check between their
+    reports. The attainable parallel speedup is bounded by usable
+    cores; on a single-core host the barrier overhead dominates.
+    """
+
+    def build(workers):
+        spec = ScenarioSpec.from_dict({
+            "scenario": {"kind": "city_multicell", "n_packets": 2,
+                         "payload_bits": 96, "design": "zigzag",
+                         "seed": SEED},
+            "deployment": {"n_aps": 4, "n_clients": 24, "area_m": 80.0,
+                           "seed": SEED, "coupled_workers": workers},
+        })
+        return build_city_session(spec, np.random.default_rng(SEED),
+                                  "zigzag")
+
+    def strip(rep):
+        return (dict(rep.counters), rep.total_delivered,
+                {ap: (r.flows, dict(r.counters), r.samples_elapsed,
+                      r.timed_out) for ap, r in rep.cells.items()})
+
+    report = benchmark.pedantic(build(1).run, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    parallel = build(0).run()          # 0 = one worker per cell
+    parallel_s = time.perf_counter() - t0
+    identical = strip(parallel) == strip(report)
     lines = [
         f"block     : 4 APs, 24 clients over 80 m x 80 m, "
         f"{len(report.cells)} populated cells",
@@ -113,9 +135,17 @@ def test_city_multicell_coupled(benchmark, record_table):
         f"{int(report.counters['samples_clipped'])} clipped)",
         f"memory    : {int(report.max_resident_samples)} resident "
         "samples summed over cells",
+        f"parallel  : {parallel.workers} cell workers in {parallel_s:.1f}s "
+        f"vs {report.elapsed_s:.1f}s sequential "
+        f"({report.elapsed_s / max(parallel_s, 1e-9):.2f}x on "
+        f"{os.cpu_count()} cpus), reports "
+        f"{'identical' if identical else 'DIVERGED'}, "
+        f"degraded={parallel.degraded}",
     ]
     record_table("city_soak_coupled",
                  "Coupled multi-cell block (waveform exchange)", lines)
     assert report.total_delivered > 0
     assert report.timed_out_cells == 0
     assert report.counters["windows"] > 0
+    assert identical
+    assert find_leaked_arenas() == []

@@ -214,13 +214,22 @@ class EventEngine:
         self.q.push(max(self._boundary(chunk_end), self.now),
                     PRIO_AIR, chunk_end, AIR_CHUNK, chunk_end)
 
-    def _cover_air(self, start: int, end: int) -> None:
+    def cover_air(self, start: int, end: int) -> None:
         """Schedule synthesis for every chunk a waveform (plus noise
-        context) touches; everything between stays symbolic."""
+        context) touches; everything between stays symbolic.
+
+        Public because it is the injection contract of the multi-cell
+        coordinator: after :meth:`ContinuousAir.inject` lands foreign
+        energy on ``[start, end)``, the owning engine must synthesize
+        the touched chunks instead of skipping them symbolically.
+        """
         lo = max((start - self._lead) // self.chunk, 0)
         hi = (end + self._tail) // self.chunk
         for k in range(lo, hi + 1):
             self._schedule_chunk((k + 1) * self.chunk)
+
+    # Backward-compatible alias for the pre-public spelling.
+    _cover_air = cover_air
 
     def _on_chunk(self, chunk_end: int, now: int) -> None:
         s = self.s
@@ -290,7 +299,7 @@ class EventEngine:
         self.active_tx[idx] = (now, client.tx_end)
         self.q.push(self._boundary(client.tx_end), PRIO_CLIENT, idx,
                     TX_END, (idx, client.gen))
-        self._cover_air(now, client.tx_end)
+        self.cover_air(now, client.tx_end)
         # Freeze the backoff of contenders that sense this transmission.
         # Snapshot rule: the new waveform is not sensed at its own start
         # boundary, so a pending same-boundary TX_START still fires (a

@@ -446,6 +446,69 @@ def _bench_runner_sweep(n_trials: int, repeats: int = 2) -> dict:
     }
 
 
+def _bench_multicell_coupled(smoke: bool, repeats: int = 2) -> dict:
+    """Time the coupled multi-cell coordinator, sequential vs parallel.
+
+    One "trial" is a full coupled city-block run (every cell stepped to
+    completion with real inter-cell waveform exchange). The parallel
+    mode pins one cell per worker process (``coupled_workers = 0``);
+    the entry records both modes' trials/sec, the speedup, and whether
+    the reports came out bit-identical — plus ``cpu_count``, since the
+    attainable speedup is bounded by cores (on a single-core host the
+    barrier overhead makes the parallel mode *slower*; the >= 2x target
+    on the 4-AP block assumes >= 4 usable cores).
+    """
+    import os
+
+    from repro.runner.builders import build_city_session
+
+    n_aps, n_clients = (2, 8) if smoke else (4, 24)
+    area_m = 60.0 if smoke else 80.0
+    n_packets = 1 if smoke else 2
+
+    def run_once(workers):
+        spec = ScenarioSpec.from_dict({
+            "scenario": {"kind": "city_multicell", "design": "zigzag",
+                         "n_packets": n_packets, "payload_bits": 96,
+                         "seed": 11},
+            "deployment": {"n_aps": n_aps, "n_clients": n_clients,
+                           "area_m": area_m, "seed": 11,
+                           "coupled_workers": workers},
+        })
+        city = build_city_session(spec, np.random.default_rng(11),
+                                  "zigzag")
+        t0 = time.perf_counter()
+        report = city.run()
+        return time.perf_counter() - t0, report
+
+    def comparable(report):
+        return (dict(report.counters), report.total_delivered,
+                {ap: r.samples_elapsed for ap, r in report.cells.items()})
+
+    seq_best = par_best = float("inf")
+    seq_report = par_report = None
+    for _ in range(max(1, repeats)):
+        seconds, seq_report = run_once(1)
+        seq_best = min(seq_best, seconds)
+        seconds, par_report = run_once(0)   # one worker per cell
+        par_best = min(par_best, seconds)
+    return {
+        "scenario": "city_multicell",
+        "n_aps": n_aps,
+        "n_clients": n_clients,
+        "n_cells": len(seq_report.cells),
+        "workers": par_report.workers,
+        "cpu_count": os.cpu_count(),
+        "seconds_sequential": seq_best,
+        "seconds_parallel": par_best,
+        "trials_per_sec_sequential": 1.0 / seq_best,
+        "trials_per_sec_parallel": 1.0 / par_best,
+        "speedup": seq_best / par_best if par_best > 0 else float("inf"),
+        "identical": comparable(seq_report) == comparable(par_report),
+        "degraded": par_report.degraded,
+    }
+
+
 # ----------------------------------------------------------------------
 # Suite driver
 # ----------------------------------------------------------------------
@@ -488,6 +551,8 @@ def run_perf_suite(smoke: bool = False) -> dict:
             repeats=1 if smoke else 3),
         "runner_sweep": _bench_runner_sweep(sweep_trials,
                                             repeats=1 if smoke else 4),
+        "multicell_coupled": _bench_multicell_coupled(
+            smoke, repeats=1 if smoke else 3),
     }
     return payload
 
@@ -531,6 +596,17 @@ def format_summary(payload: dict) -> str:
         f"{sweep['trials_per_sec_before']:>9.2f} t/s "
         f"{sweep['trials_per_sec_after']:>8.2f} t/s "
         f"{sweep['speedup']:>7.1f}x")
+    coupled = payload.get("multicell_coupled")
+    if coupled is not None:
+        label = (f"multicell_coupled {coupled['n_aps']}AP "
+                 f"x{coupled['workers']}w")
+        flags = "identical" if coupled["identical"] else "DIVERGED"
+        lines.append(
+            f"{label:<34} "
+            f"{coupled['trials_per_sec_sequential']:>9.2f} t/s "
+            f"{coupled['trials_per_sec_parallel']:>8.2f} t/s "
+            f"{coupled['speedup']:>7.1f}x  ({flags}, "
+            f"{coupled['cpu_count']} cpus)")
     return "\n".join(lines)
 
 

@@ -343,7 +343,10 @@ def build_city_session(spec, rng: np.random.Generator,
     generator of *rng*, so the cell count doesn't perturb per-cell
     streams) and wraps them in a :class:`~repro.link.MultiCellSession`
     that exchanges real inter-cell interference waveforms at horizon
-    boundaries — no bursty-noise approximation.
+    boundaries — no bursty-noise approximation. With
+    ``deployment.coupled_workers != 1`` the coordinator steps cells on
+    a pool of pinned worker processes (``repro.link.parallel``), with
+    bit-identical results.
     """
     deployment = get_deployment(spec)
     dep = spec.deployment
@@ -357,5 +360,7 @@ def build_city_session(spec, rng: np.random.Generator,
         deployment, cells,
         config=MultiCellConfig(
             horizon_chunks=dep.horizon_chunks,
-            interference_floor_db=dep.interference_floor_db),
+            interference_floor_db=dep.interference_floor_db,
+            workers=dep.coupled_workers,
+            faults=(spec.faults if not spec.faults.is_empty else None)),
         rng=np.random.default_rng(int(rng.integers(1 << 63))))

@@ -791,14 +791,19 @@ def city_multicell_trial(spec: ScenarioSpec,
     cell runs its own event engine and the coordinator exchanges real
     inter-cell interference waveforms at horizon boundaries — the
     reference physics the sharded ``city_scale`` approximation is
-    measured against. Metrics: block throughput/delivered, per-cell
-    throughput (``throughput_ap{a}``), timed-out cell count, the
-    summed resident-sample peak, and the exchange counters.
+    measured against. With ``deployment.coupled_workers != 1`` the
+    cells step on a pool of pinned worker processes with bit-identical
+    results (``coupled_workers``/``coupled_degraded`` record how the
+    block was actually driven). Metrics: block throughput/delivered,
+    per-cell throughput (``throughput_ap{a}``), timed-out cell count,
+    the summed resident-sample peak, and the exchange counters.
     """
     city = build_city_session(
         spec, np.random.default_rng(ctx.seed), spec.design)
     report = city.run()
     metrics: dict[str, float] = {
+        "coupled_workers": float(report.workers),
+        "coupled_degraded": float(report.degraded),
         "throughput_total": report.throughput(),
         "delivered_total": float(report.total_delivered),
         "timed_out_cells": float(report.timed_out_cells),

@@ -49,8 +49,8 @@ import numpy as np
 
 from repro.errors import CaptureTransportError, ConfigurationError
 
-__all__ = ["CaptureRef", "SharedCaptureArena", "cleanup_arenas",
-           "find_leaked_arenas"]
+__all__ = ["CaptureRef", "SharedCaptureArena", "WaveformRef",
+           "WaveformArena", "cleanup_arenas", "find_leaked_arenas"]
 
 _ITEMSIZE = np.dtype(complex).itemsize
 
@@ -180,6 +180,141 @@ class SharedCaptureArena:
             raise ConfigurationError(
                 f"size {size} exceeds slot capacity {self.slot_samples}")
         return self.grid[slot, :size]
+
+
+@dataclass(frozen=True)
+class WaveformRef:
+    """Where one variable-length waveform's samples live.
+
+    ``region >= 0`` means ``arena.view(region, offset, size)``;
+    ``region == -1`` means the samples travelled pickled in ``inline``
+    (region-full overflow path, same contract as :class:`CaptureRef`).
+    ``checksum`` is the CRC32 of the payload at write time, verified by
+    :meth:`resolve` so corruption in transport surfaces as a
+    :class:`~repro.errors.CaptureTransportError`.
+    """
+
+    region: int
+    offset: int
+    size: int
+    inline: np.ndarray | None = None
+    checksum: int | None = None
+
+    def resolve(self, arena: "WaveformArena | None") -> np.ndarray:
+        if self.region < 0:
+            if self.inline is None:
+                raise ConfigurationError("inline waveform ref has no data")
+            return self.inline
+        if arena is None:
+            raise ConfigurationError(
+                "arena-backed waveform ref but no arena attached")
+        view = arena.view(self.region, self.offset, self.size)
+        if self.checksum is not None and _checksum(view) != self.checksum:
+            raise CaptureTransportError(
+                f"waveform at region {self.region}+{self.offset} failed "
+                f"checksum verification ({self.size} samples); waveform "
+                "corrupted in transport")
+        return view
+
+
+class WaveformArena:
+    """Variable-length complex waveforms in shared memory, by region.
+
+    The capture arena's fixed slot grid fits same-sized captures; the
+    multi-cell coordinator instead exchanges *waveforms* whose lengths
+    vary with payload, modulation and channel dispersion. This arena
+    gives each writer (one cell worker) its own **region** — a
+    contiguous complex span bump-allocated front to back — so writers
+    never contend and need no locking. :meth:`reset` rewinds one
+    region's cursor at the start of each horizon window, after every
+    reader consumed the previous window's refs at the barrier.
+
+    A waveform that outgrows its region's remaining space falls back to
+    an inline (pickled) ref, so the arena is purely an optimization and
+    never a correctness constraint. Ownership, naming, leak detection
+    and the atexit guard are shared with :class:`SharedCaptureArena`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, n_regions: int,
+                 region_samples: int, *, owner: bool) -> None:
+        self._shm = shm
+        self.n_regions = n_regions
+        self.region_samples = region_samples
+        self._owner = owner
+        self.grid = np.ndarray((n_regions, region_samples), dtype=complex,
+                               buffer=shm.buf)
+        # Bump cursors are process-local: each region has exactly one
+        # writing process, and readers address by explicit ref offsets.
+        self._cursors = [0] * n_regions
+        if owner:
+            _LIVE_ARENAS[shm.name] = self
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def create(cls, n_regions: int,
+               region_samples: int) -> "WaveformArena":
+        if n_regions < 1 or region_samples < 1:
+            raise ConfigurationError("arena needs positive dimensions")
+        name = f"{ARENA_PREFIX}-wave-{os.getpid()}-{secrets.token_hex(4)}"
+        shm = shared_memory.SharedMemory(
+            create=True, name=name,
+            size=n_regions * region_samples * _ITEMSIZE)
+        return cls(shm, n_regions, region_samples, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, n_regions: int,
+               region_samples: int) -> "WaveformArena":
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, n_regions, region_samples, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release this process's mapping (owner additionally unlinks)."""
+        self.grid = None
+        _LIVE_ARENAS.pop(self._shm.name, None)
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+
+    # -- access ---------------------------------------------------------
+    def reset(self, region: int) -> None:
+        """Rewind *region*'s bump cursor (start of a new window)."""
+        if not 0 <= region < self.n_regions:
+            raise ConfigurationError(f"region {region} out of range")
+        self._cursors[region] = 0
+
+    def write(self, region: int, samples: np.ndarray, *,
+              checksum: bool = False) -> WaveformRef:
+        """Append *samples* to *region*, or fall back to an inline ref."""
+        arr = np.asarray(samples, dtype=complex).ravel()
+        if not 0 <= region < self.n_regions:
+            return WaveformRef(region=-1, offset=0, size=arr.size,
+                               inline=arr)
+        cursor = self._cursors[region]
+        if cursor + arr.size > self.region_samples:
+            return WaveformRef(region=-1, offset=0, size=arr.size,
+                               inline=arr)
+        self.grid[region, cursor:cursor + arr.size] = arr
+        self._cursors[region] = cursor + arr.size
+        crc = _checksum(arr) if checksum else None
+        return WaveformRef(region=region, offset=cursor, size=arr.size,
+                           checksum=crc)
+
+    def view(self, region: int, offset: int, size: int) -> np.ndarray:
+        """Zero-copy view of ``size`` samples at ``offset`` in *region*."""
+        if not 0 <= region < self.n_regions:
+            raise ConfigurationError(f"region {region} out of range")
+        if offset < 0 or offset + size > self.region_samples:
+            raise ConfigurationError(
+                f"span {offset}+{size} exceeds region capacity "
+                f"{self.region_samples}")
+        return self.grid[region, offset:offset + size]
 
 
 # ----------------------------------------------------------------------

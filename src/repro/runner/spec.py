@@ -225,6 +225,11 @@ class DeploymentSpec:
     # Coordinator knobs (multi-cell exchange / sharded approximation).
     interference_floor_db: float = -2.0
     horizon_chunks: int = 4
+    # Cell worker processes for the coupled coordinator
+    # (``city_multicell``): 1 steps cells sequentially, N > 1 pins
+    # cells to N persistent workers, 0 means one worker per cell.
+    # Results are bit-identical at any value (repro.link.parallel).
+    coupled_workers: int = 1
 
     def validate(self) -> None:
         """Reject an unusable table (no-op when none was declared).
@@ -248,6 +253,10 @@ class DeploymentSpec:
         if self.horizon_chunks < 1:
             raise ConfigurationError(
                 "[deployment] horizon_chunks must be >= 1")
+        if self.coupled_workers < 0:
+            raise ConfigurationError(
+                "[deployment] coupled_workers must be >= 0 "
+                "(0 = one worker per cell)")
         self.config()  # let DeploymentConfig validate the rest eagerly
 
     @property

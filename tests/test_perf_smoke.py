@@ -16,6 +16,7 @@ import pytest
 from repro.perf.bench import (
     _bench_batched_end_to_end,
     _bench_end_to_end,
+    _bench_multicell_coupled,
     _build_kernel_benches,
 )
 
@@ -55,6 +56,20 @@ def test_batched_entry_schema(entries):
     # The recorded speedup is the ratio of the recorded throughputs.
     assert entry["speedup"] == pytest.approx(
         entry["trials_per_sec_batched"] / entry["trials_per_sec_loop"])
+
+
+def test_multicell_coupled_entry_schema():
+    entry = _bench_multicell_coupled(True, repeats=1)
+    assert entry["scenario"] == "city_multicell"
+    assert entry["workers"] == entry["n_cells"] > 1
+    assert entry["cpu_count"] >= 1
+    for key in ("seconds_sequential", "seconds_parallel",
+                "trials_per_sec_sequential", "trials_per_sec_parallel",
+                "speedup"):
+        assert np.isfinite(entry[key]) and entry[key] > 0
+    # The parallel coordinator must reproduce the sequential report
+    # bit-for-bit without falling back to in-process stepping.
+    assert entry["identical"] and not entry["degraded"]
 
 
 def test_kernel_bench_table_includes_batched_kernels():
